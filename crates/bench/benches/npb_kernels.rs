@@ -1,0 +1,62 @@
+//! Criterion group regenerating the **Tables 2–6** axis on class S:
+//! every benchmark, opt ("Fortran") vs safe ("Java") style, serial vs a
+//! 2-thread team. Run the `table2_4` / `table5_6` binaries for the full
+//! thread sweeps and larger classes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npb_core::{Class, Style};
+use npb_runtime::Team;
+
+fn bench_kernels(c: &mut Criterion) {
+    let team = Team::new(2);
+    let mut g = c.benchmark_group("npb_class_s");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    macro_rules! bench_all {
+        ($($name:literal => $krate:ident),+ $(,)?) => {
+            $(
+                g.bench_function(concat!($name, "/opt/serial"), |b| {
+                    b.iter(|| $krate::run(Class::S, Style::Opt, None).time_secs)
+                });
+                g.bench_function(concat!($name, "/safe/serial"), |b| {
+                    b.iter(|| $krate::run(Class::S, Style::Safe, None).time_secs)
+                });
+                g.bench_function(concat!($name, "/opt/2threads"), |b| {
+                    b.iter(|| $krate::run(Class::S, Style::Opt, Some(&team)).time_secs)
+                });
+            )+
+        };
+    }
+
+    // IS / CG / MG / FT / SP / BT / LU are the seven table benchmarks;
+    // EP class S is too long for a criterion loop on one core — the
+    // table binaries cover it.
+    bench_all! {
+        "IS" => npb_is,
+        "CG" => npb_cg,
+        "MG" => npb_mg,
+        "SP" => npb_sp,
+        "BT" => npb_bt,
+        "LU" => npb_lu,
+    }
+    g.finish();
+
+    // FT is heavier (64^3 complex grid); separate group with fewer
+    // samples.
+    let mut g = c.benchmark_group("npb_class_s_ft");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("FT/opt/serial", |b| {
+        b.iter(|| npb_ft::run(Class::S, Style::Opt, None).time_secs)
+    });
+    g.bench_function("FT/safe/serial", |b| {
+        b.iter(|| npb_ft::run(Class::S, Style::Safe, None).time_secs)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion group regenerating **Table 1**: the five basic CFD
+//! operations, opt vs safe vs shape-preserving, serial vs 2 threads.
+//! A reduced grid keeps `cargo bench` tractable on one core; run the
+//! `table1` binary for the paper's full 81×81×100 grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npb_cfd_ops::{run_linearized, run_multidim, Op, OpConfig};
+use npb_runtime::Team;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = OpConfig { n1: 41, n2: 41, n3: 50 };
+    let team = Team::new(2);
+    let mut g = c.benchmark_group("table1_basic_ops");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for op in Op::ALL {
+        g.bench_function(format!("{op:?}/opt"), |b| {
+            b.iter(|| run_linearized::<false>(op, &cfg, None).checksum)
+        });
+        g.bench_function(format!("{op:?}/safe"), |b| {
+            b.iter(|| run_linearized::<true>(op, &cfg, None).checksum)
+        });
+        g.bench_function(format!("{op:?}/multidim"), |b| {
+            b.iter(|| run_multidim(op, &cfg).checksum)
+        });
+        g.bench_function(format!("{op:?}/opt_2threads"), |b| {
+            b.iter(|| run_linearized::<false>(op, &cfg, Some(&team)).checksum)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion group regenerating **Table 7**: `lufact` (BLAS-1 `dgefa`)
+//! in Java/Fortran styles vs the blocked LU, at the paper's class A
+//! size (n = 500). The `table7` binary covers n = 1000 and 2000.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npb_jgf::{dgefa, getrf_blocked, Matrix};
+
+fn bench_lufact(c: &mut Criterion) {
+    let n = 500;
+    let base = Matrix::random(n, npb_core::SEED_DEFAULT);
+    let mut g = c.benchmark_group("table7_lufact_n500");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("dgefa/java_style", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut m| dgefa::<true>(&mut m),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("dgefa/fortran_style", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut m| dgefa::<false>(&mut m),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("getrf_blocked/nb64", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut m| getrf_blocked::<false>(&mut m, 64),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lufact);
+criterion_main!(benches);

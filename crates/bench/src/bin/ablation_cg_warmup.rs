@@ -1,0 +1,49 @@
+//! **§5.2 ablation** — the CG thread-affinity anomaly: on the SGI the
+//! JVM ran all of CG's threads on 1-2 processors until the paper's
+//! authors "put an initialization section performing a large work in
+//! each thread", forcing the JVM to spread them; only then did CG speed
+//! up.
+//!
+//! The Rust runtime pins one OS thread per worker, so the pathology
+//! cannot reproduce; this ablation measures the analogous quantity — the
+//! cost of the first parallel region on a freshly spawned team (cold
+//! workers, cold page tables) versus steady-state regions — which is the
+//! overhead the paper's warm-up trick amortized.
+//!
+//! ```text
+//! cargo run --release -p npb-bench --bin ablation_cg_warmup -- --threads 2,4,8
+//! ```
+
+use npb_bench::{header, HarnessArgs};
+use npb_core::Class;
+use npb_runtime::Team;
+use std::time::Instant;
+
+fn main() {
+    let args = HarnessArgs::parse(&[2, 4, 8]);
+    header(
+        "Ablation: first-region (cold team) vs steady-state cost for CG",
+        "cold = first conj_grad on a fresh team; warm = average of the next 10",
+    );
+
+    println!("{:>8} {:>12} {:>12} {:>8}", "threads", "cold (s)", "warm (s)", "ratio");
+    for &t in &args.threads {
+        if t == 0 {
+            continue;
+        }
+        let mut st = npb_cg::CgState::new(Class::S);
+        let team = Team::new(t);
+        let t0 = Instant::now();
+        st.conj_grad::<false>(Some(&team));
+        let cold = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            st.conj_grad::<false>(Some(&team));
+        }
+        let warm = t0.elapsed().as_secs_f64() / 10.0;
+        println!("{t:>8} {cold:>12.5} {warm:>12.5} {:>8.2}", cold / warm);
+    }
+    println!();
+    println!("the paper's fix: give each thread a large warm-up workload at startup so");
+    println!("the scheduler binds them to distinct CPUs before the timed section.");
+}

@@ -1,0 +1,34 @@
+//! Maintenance tool: print full-precision verification quantities for a
+//! class from the serial opt build, in the exact format of the
+//! `params.rs` reference tables — used to pin regenerated constants for
+//! classes whose published values are not embedded (see DESIGN.md's
+//! verification policy).
+//!
+//! ```text
+//! cargo run --release -p npb-bench --bin regen_refs -- --class W
+//! ```
+
+use npb_bench::HarnessArgs;
+use npb_core::Style;
+
+fn main() {
+    let args = HarnessArgs::parse(&[]);
+    let class = args.class;
+    println!("// regenerated references for class {class} (serial opt build)");
+
+    let bt = npb_bt::run_raw(class, Style::Opt, None);
+    println!("// BT dt = {}", npb_bt::BtParams::for_class(class).dt);
+    println!("BT xcr: {:?}", bt.xcr.map(|v| format!("{v:.16e}")));
+    println!("BT xce: {:?}", bt.xce.map(|v| format!("{v:.16e}")));
+
+    let sp = npb_sp::run_raw(class, Style::Opt, None);
+    println!("// SP dt = {}", npb_sp::SpParams::for_class(class).dt);
+    println!("SP xcr: {:?}", sp.xcr.map(|v| format!("{v:.16e}")));
+    println!("SP xce: {:?}", sp.xce.map(|v| format!("{v:.16e}")));
+
+    let lu = npb_lu::run_raw(class, Style::Opt, None);
+    println!("// LU dt = {}", npb_lu::LuParams::for_class(class).dt);
+    println!("LU xcr: {:?}", lu.xcr.map(|v| format!("{v:.16e}")));
+    println!("LU xce: {:?}", lu.xce.map(|v| format!("{v:.16e}")));
+    println!("LU xci: {:.16e}", lu.xci);
+}

@@ -1,0 +1,69 @@
+//! **Table 1** — "The execution times in seconds of the basic CFD
+//! operations … The grid size is 81x81x100, the matrices are 5x5, and
+//! vectors are 5-D."
+//!
+//! Columns: `f77`-analogue (opt style, linearized), `Java`-analogue
+//! (safe style, linearized) serial, then the thread sweep, plus the §3
+//! layout comparison (shape-preserving nested arrays, the paper's
+//! "2–3× slower" option).
+//!
+//! ```text
+//! cargo run --release -p npb-bench --bin table1 [--threads 1,2,4,8,16]
+//! ```
+
+use npb_bench::{header, ttag, with_team};
+use npb_cfd_ops::{run_linearized, run_multidim, Op, OpConfig};
+
+fn main() {
+    let args = npb_bench::HarnessArgs::parse(&[1, 2, 4, 8, 16]);
+    let cfg = OpConfig::default();
+    header(
+        "Table 1: basic CFD operations (81x81x100 grid)",
+        "opt = Fortran-style (unchecked, fused madd); safe = Java-style (checked); \
+         multidim = shape-preserving nested arrays (serial)",
+    );
+
+    println!(
+        "{:<34} {:>10} {:>10} {:>10}  threads (opt style)",
+        "Operation", "opt", "safe", "multidim"
+    );
+    // Best of three runs per cell: the first touch of each buffer pays
+    // page faults that would otherwise dominate these sub-10ms kernels.
+    fn best<T>(mut f: impl FnMut() -> npb_cfd_ops::OpResult) -> npb_cfd_ops::OpResult {
+        let mut r = f();
+        for _ in 0..2 {
+            let n = f();
+            if n.secs < r.secs {
+                r = n;
+            }
+        }
+        r
+    }
+    for op in Op::ALL {
+        let opt = best::<()>(|| run_linearized::<false>(op, &cfg, None));
+        let safe = best::<()>(|| run_linearized::<true>(op, &cfg, None));
+        let multi = best::<()>(|| run_multidim(op, &cfg));
+        let mut line = format!(
+            "{:<34} {:>10.4} {:>10.4} {:>10.4} ",
+            op.label(),
+            opt.secs,
+            safe.secs,
+            multi.secs
+        );
+        for &t in &args.threads {
+            let r = best::<()>(|| with_team(t, |team| run_linearized::<false>(op, &cfg, team)));
+            line.push_str(&format!(" {}={:.4}", ttag(t), r.secs));
+        }
+        println!("{line}");
+        // Cross-check: every variant computed the same data.
+        let tol = 1e-9 * opt.checksum.abs().max(1.0);
+        assert!((safe.checksum - opt.checksum).abs() <= tol, "{op:?} safe checksum");
+        assert!((multi.checksum - opt.checksum).abs() <= tol, "{op:?} multidim checksum");
+    }
+
+    println!();
+    println!("paper's Table 1 findings to compare against:");
+    println!("  - Java/Fortran serial ratio 3.3x (assignment) .. 12.4x (2nd-order stencil)");
+    println!("  - shape-preserving arrays 2-3x slower than linearized");
+    println!("  - 1-thread overhead <= 20%; 16-thread speedup ~7 (ops 2-4), ~5-6 (ops 1, 5)");
+}

@@ -1,0 +1,64 @@
+//! **Tables 2–4** — "Benchmark times in seconds" on IBM p690 (Table 2),
+//! SGI Origin2000 (Table 3) and SUN Enterprise10000 (Table 4): the seven
+//! evaluated benchmarks, serial plus a thread sweep, Java rows vs
+//! Fortran-OpenMP rows.
+//!
+//! On this reproduction the three machines collapse to the single host;
+//! the Java/Fortran axis is the safe/opt style pair and the thread sweep
+//! measures the master-worker overhead curve (speedup needs real CPUs —
+//! see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p npb-bench --bin table2_4 -- --class S [--style both] [--threads 1,2,4,8,16]
+//! ```
+
+use npb_bench::{cell, header, ttag, HarnessArgs};
+use npb_core::{BenchReport, Class, Style};
+use npb_runtime::Team;
+
+type RunFn = fn(Class, Style, Option<&Team>) -> BenchReport;
+
+fn main() {
+    let args = HarnessArgs::parse(&[1, 2, 4, 8, 16]);
+    header(
+        &format!("Tables 2-4: NPB class {} benchmark times (seconds)", args.class),
+        "rows: <bench> safe = the paper's Java rows; <bench> opt = the f77/OpenMP rows",
+    );
+
+    let benches: [(&str, RunFn); 7] = [
+        ("BT", npb_bt::run as RunFn),
+        ("SP", npb_sp::run as RunFn),
+        ("LU", npb_lu::run as RunFn),
+        ("FT", npb_ft::run as RunFn),
+        ("IS", npb_is::run as RunFn),
+        ("CG", npb_cg::run as RunFn),
+        ("MG", npb_mg::run as RunFn),
+    ];
+
+    print!("{:<14} {:>10}", "benchmark", "serial");
+    for &t in &args.threads {
+        print!(" {:>9}", ttag(t));
+    }
+    println!("  verified");
+
+    for (name, run) in benches {
+        for &style in &args.styles {
+            let label = format!("{}.{} {}", name, args.class, style.label());
+            let serial = cell(name, args.class, style, 0, run);
+            print!("{label:<14} {:>10.3}", serial.time_secs);
+            let mut all_ok = serial.verified.is_success();
+            for &t in &args.threads {
+                let r = cell(name, args.class, style, t, run);
+                all_ok &= r.verified.is_success();
+                print!(" {:>9.3}", r.time_secs);
+            }
+            println!("  {}", if all_ok { "ok" } else { "CHECK" });
+        }
+    }
+
+    println!();
+    println!("paper's shape to compare against (Tables 2-3):");
+    println!("  - structured-grid group (BT,SP,LU,FT,MG): serial Java/Fortran 2.3-4.8x (O2K)");
+    println!("  - unstructured group (IS,CG): ratio only 1.1-2.1x");
+    println!("  - speedup 6-12 at 16 threads for BT/SP/LU on real 16+ CPU hosts");
+}

@@ -1,0 +1,53 @@
+//! **Tables 5–6** — "Benchmark times in seconds on Linux PC (933 MHz, 2
+//! PIII processors)" and "Apple Xserver (1 GHz, 2 G4 processors)":
+//! the 2-processor configuration of the same experiment — serial, 1
+//! thread, 2 threads. The paper's finding on the PC: *no* speedup at 2
+//! threads on any benchmark; our single-CPU host reproduces that shape
+//! by construction and additionally quantifies the threading overhead.
+//!
+//! ```text
+//! cargo run --release -p npb-bench --bin table5_6 -- --class S
+//! ```
+
+use npb_bench::{cell, header, HarnessArgs};
+use npb_core::{BenchReport, Class, Style};
+use npb_runtime::Team;
+
+type RunFn = fn(Class, Style, Option<&Team>) -> BenchReport;
+
+fn main() {
+    let mut args = HarnessArgs::parse(&[1, 2]);
+    args.styles = vec![Style::Safe]; // Tables 5-6 are Java-only
+    header(
+        &format!("Tables 5-6: class {} on a 2-processor desktop (Java rows)", args.class),
+        "columns: serial / 1 thread / 2 threads",
+    );
+
+    let benches: [(&str, RunFn); 7] = [
+        ("BT", npb_bt::run as RunFn),
+        ("SP", npb_sp::run as RunFn),
+        ("LU", npb_lu::run as RunFn),
+        ("FT", npb_ft::run as RunFn),
+        ("IS", npb_is::run as RunFn),
+        ("CG", npb_cg::run as RunFn),
+        ("MG", npb_mg::run as RunFn),
+    ];
+
+    println!("{:<10} {:>10} {:>10} {:>10}", "benchmark", "serial", "1", "2");
+    for (name, run) in benches {
+        let s = cell(name, args.class, Style::Safe, 0, run);
+        let t1 = cell(name, args.class, Style::Safe, 1, run);
+        let t2 = cell(name, args.class, Style::Safe, 2, run);
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.3}   (1-thread overhead {:+.1}%)",
+            format!("{}.{}", name, args.class),
+            s.time_secs,
+            t1.time_secs,
+            t2.time_secs,
+            (t1.time_secs / s.time_secs - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("paper's finding: 'On the Linux PIII PC we did not obtain any speedup on");
+    println!("any benchmark when using 2 threads.'");
+}

@@ -1,0 +1,293 @@
+//! Problem constants (`set_constants` of `bt.f` / `sp.f`).
+//!
+//! Every coefficient the discretized Navier–Stokes operators use is
+//! precomputed here, exactly as the reference computes them, including
+//! all the derived products (`xxcon*`, `dttx*`, `comz*`, ...).
+
+/// The exact-solution coefficient table `ce(5, 13)` shared by BT, SP and
+/// LU. Row `m` defines the cubic polynomial for conserved variable `m`.
+pub const CE: [[f64; 13]; 5] = [
+    [2.0, 0.0, 0.0, 4.0, 5.0, 3.0, 0.5, 0.02, 0.01, 0.03, 0.5, 0.4, 0.3],
+    [1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 0.01, 0.03, 0.02, 0.4, 0.3, 0.5],
+    [2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 3.0, 0.04, 0.03, 0.05, 0.3, 0.5, 0.4],
+    [2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 3.0, 0.03, 0.05, 0.04, 0.2, 0.1, 0.3],
+    [5.0, 4.0, 3.0, 2.0, 0.1, 0.4, 0.3, 0.05, 0.04, 0.03, 0.1, 0.3, 0.2],
+];
+
+/// All grid- and dt-derived constants of the BT/SP discretization.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field names are the reference's own vocabulary
+pub struct Consts {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub dt: f64,
+
+    pub c1: f64,
+    pub c2: f64,
+    pub c3: f64,
+    pub c4: f64,
+    pub c5: f64,
+    pub bt: f64,
+    pub c1c2: f64,
+    pub c1c5: f64,
+    pub c3c4: f64,
+    pub c1345: f64,
+    pub conz1: f64,
+    pub con43: f64,
+    pub con16: f64,
+    pub c2iv: f64,
+
+    pub dnxm1: f64,
+    pub dnym1: f64,
+    pub dnzm1: f64,
+    pub tx1: f64,
+    pub tx2: f64,
+    pub tx3: f64,
+    pub ty1: f64,
+    pub ty2: f64,
+    pub ty3: f64,
+    pub tz1: f64,
+    pub tz2: f64,
+    pub tz3: f64,
+
+    pub dx: [f64; 5],
+    pub dy: [f64; 5],
+    pub dz: [f64; 5],
+    pub dxmax: f64,
+    pub dymax: f64,
+    pub dzmax: f64,
+    pub dssp: f64,
+    pub dtdssp: f64,
+
+    pub dttx1: f64,
+    pub dttx2: f64,
+    pub dtty1: f64,
+    pub dtty2: f64,
+    pub dttz1: f64,
+    pub dttz2: f64,
+    pub c2dttx1: f64,
+    pub c2dtty1: f64,
+    pub c2dttz1: f64,
+
+    pub comz1: f64,
+    pub comz4: f64,
+    pub comz5: f64,
+    pub comz6: f64,
+
+    pub xxcon1: f64,
+    pub xxcon2: f64,
+    pub xxcon3: f64,
+    pub xxcon4: f64,
+    pub xxcon5: f64,
+    pub yycon1: f64,
+    pub yycon2: f64,
+    pub yycon3: f64,
+    pub yycon4: f64,
+    pub yycon5: f64,
+    pub zzcon1: f64,
+    pub zzcon2: f64,
+    pub zzcon3: f64,
+    pub zzcon4: f64,
+    pub zzcon5: f64,
+
+    pub dx1tx1: f64,
+    pub dx2tx1: f64,
+    pub dx3tx1: f64,
+    pub dx4tx1: f64,
+    pub dx5tx1: f64,
+    pub dy1ty1: f64,
+    pub dy2ty1: f64,
+    pub dy3ty1: f64,
+    pub dy4ty1: f64,
+    pub dy5ty1: f64,
+    pub dz1tz1: f64,
+    pub dz2tz1: f64,
+    pub dz3tz1: f64,
+    pub dz4tz1: f64,
+    pub dz5tz1: f64,
+}
+
+impl Consts {
+    /// `set_constants` for a `(nx, ny, nz)` grid with time step `dt`.
+    pub fn new(nx: usize, ny: usize, nz: usize, dt: f64) -> Consts {
+        let c1 = 1.4;
+        let c2 = 0.4;
+        let c3 = 0.1;
+        let c4 = 1.0;
+        let c5 = 1.4;
+        let bt = 0.5f64.sqrt();
+        let c1c2 = c1 * c2;
+        let c1c5 = c1 * c5;
+        let c3c4 = c3 * c4;
+        let c1345 = c1c5 * c3c4;
+        let conz1 = 1.0 - c1c5;
+        let con43 = 4.0 / 3.0;
+        let con16 = 1.0 / 6.0;
+
+        let dnxm1 = 1.0 / (nx as f64 - 1.0);
+        let dnym1 = 1.0 / (ny as f64 - 1.0);
+        let dnzm1 = 1.0 / (nz as f64 - 1.0);
+        let tx1 = 1.0 / (dnxm1 * dnxm1);
+        let tx2 = 1.0 / (2.0 * dnxm1);
+        let tx3 = 1.0 / dnxm1;
+        let ty1 = 1.0 / (dnym1 * dnym1);
+        let ty2 = 1.0 / (2.0 * dnym1);
+        let ty3 = 1.0 / dnym1;
+        let tz1 = 1.0 / (dnzm1 * dnzm1);
+        let tz2 = 1.0 / (2.0 * dnzm1);
+        let tz3 = 1.0 / dnzm1;
+
+        let dx: [f64; 5] = [0.75; 5];
+        let dy: [f64; 5] = [0.75; 5];
+        let dz: [f64; 5] = [1.0; 5];
+        let dxmax = dx[2].max(dx[3]);
+        let dymax = dy[1].max(dy[3]);
+        let dzmax = dz[1].max(dz[2]);
+        let dssp = 0.25 * dx[0].max(dy[0].max(dz[0]));
+        let dtdssp = dt * dssp;
+
+        let c3c4tx3 = c3c4 * tx3;
+        let c3c4ty3 = c3c4 * ty3;
+        let c3c4tz3 = c3c4 * tz3;
+
+        Consts {
+            nx,
+            ny,
+            nz,
+            dt,
+            c1,
+            c2,
+            c3,
+            c4,
+            c5,
+            bt,
+            c1c2,
+            c1c5,
+            c3c4,
+            c1345,
+            conz1,
+            con43,
+            con16,
+            c2iv: 2.5,
+            dnxm1,
+            dnym1,
+            dnzm1,
+            tx1,
+            tx2,
+            tx3,
+            ty1,
+            ty2,
+            ty3,
+            tz1,
+            tz2,
+            tz3,
+            dx,
+            dy,
+            dz,
+            dxmax,
+            dymax,
+            dzmax,
+            dssp,
+            dtdssp,
+            dttx1: dt * tx1,
+            dttx2: dt * tx2,
+            dtty1: dt * ty1,
+            dtty2: dt * ty2,
+            dttz1: dt * tz1,
+            dttz2: dt * tz2,
+            c2dttx1: 2.0 * dt * tx1,
+            c2dtty1: 2.0 * dt * ty1,
+            c2dttz1: 2.0 * dt * tz1,
+            comz1: dtdssp,
+            comz4: 4.0 * dtdssp,
+            comz5: 5.0 * dtdssp,
+            comz6: 6.0 * dtdssp,
+            xxcon1: c3c4tx3 * con43 * tx3,
+            xxcon2: c3c4tx3 * tx3,
+            xxcon3: c3c4tx3 * conz1 * tx3,
+            xxcon4: c3c4tx3 * con16 * tx3,
+            xxcon5: c3c4tx3 * c1c5 * tx3,
+            yycon1: c3c4ty3 * con43 * ty3,
+            yycon2: c3c4ty3 * ty3,
+            yycon3: c3c4ty3 * conz1 * ty3,
+            yycon4: c3c4ty3 * con16 * ty3,
+            yycon5: c3c4ty3 * c1c5 * ty3,
+            zzcon1: c3c4tz3 * con43 * tz3,
+            zzcon2: c3c4tz3 * tz3,
+            zzcon3: c3c4tz3 * conz1 * tz3,
+            zzcon4: c3c4tz3 * con16 * tz3,
+            zzcon5: c3c4tz3 * c1c5 * tz3,
+            dx1tx1: dx[0] * tx1,
+            dx2tx1: dx[1] * tx1,
+            dx3tx1: dx[2] * tx1,
+            dx4tx1: dx[3] * tx1,
+            dx5tx1: dx[4] * tx1,
+            dy1ty1: dy[0] * ty1,
+            dy2ty1: dy[1] * ty1,
+            dy3ty1: dy[2] * ty1,
+            dy4ty1: dy[3] * ty1,
+            dy5ty1: dy[4] * ty1,
+            dz1tz1: dz[0] * tz1,
+            dz2tz1: dz[1] * tz1,
+            dz3tz1: dz[2] * tz1,
+            dz4tz1: dz[3] * tz1,
+            dz5tz1: dz[4] * tz1,
+        }
+    }
+
+    /// The exact solution polynomial at `(xi, eta, zeta)`.
+    #[inline]
+    pub fn exact_solution(&self, xi: f64, eta: f64, zeta: f64) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        for m in 0..5 {
+            let ce = &CE[m];
+            out[m] = ce[0]
+                + xi * (ce[1] + xi * (ce[4] + xi * (ce[7] + xi * ce[10])))
+                + eta * (ce[2] + eta * (ce[5] + eta * (ce[8] + eta * ce[11])))
+                + zeta * (ce[3] + zeta * (ce[6] + zeta * (ce[9] + zeta * ce[12])));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_constants_are_consistent() {
+        let c = Consts::new(12, 12, 12, 0.015);
+        assert_eq!(c.dssp, 0.25); // max(0.75, 1.0) / 4
+        assert!((c.tx2 * 2.0 * c.dnxm1 - 1.0).abs() < 1e-15);
+        assert!((c.c1345 - 1.4 * 1.4 * 0.1 * 1.0).abs() < 1e-15);
+        assert!((c.comz6 - 6.0 * c.dt * c.dssp).abs() < 1e-15);
+        assert!((c.xxcon2 - c.c3c4 * c.tx3 * c.tx3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_solution_at_origin_is_ce_column_one() {
+        let c = Consts::new(12, 12, 12, 0.015);
+        let v = c.exact_solution(0.0, 0.0, 0.0);
+        for m in 0..5 {
+            assert_eq!(v[m], CE[m][0]);
+        }
+    }
+
+    #[test]
+    fn exact_solution_is_separable_sum() {
+        // u(xi,eta,zeta) - u(0,0,0) must equal the sum of the three
+        // single-coordinate deviations.
+        let c = Consts::new(12, 12, 12, 0.015);
+        let (xi, eta, zeta) = (0.3, 0.6, 0.9);
+        let full = c.exact_solution(xi, eta, zeta);
+        let o = c.exact_solution(0.0, 0.0, 0.0);
+        let x = c.exact_solution(xi, 0.0, 0.0);
+        let y = c.exact_solution(0.0, eta, 0.0);
+        let z = c.exact_solution(0.0, 0.0, zeta);
+        for m in 0..5 {
+            let sum = (x[m] - o[m]) + (y[m] - o[m]) + (z[m] - o[m]) + o[m];
+            assert!((full[m] - sum).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Problem setup: transfinite-interpolated initial state (`initialize`)
+//! and the steady forcing terms (`exact_rhs`) that make the prescribed
+//! polynomial field an exact solution of the discrete system.
+//!
+//! Both routines run once, untimed, so they are implemented in plain
+//! safe serial code.
+
+use crate::consts::Consts;
+use crate::fields::Fields;
+
+/// `initialize`: boundary faces carry the exact solution; the interior
+/// is the transfinite (trilinear) blend of the six face solutions.
+pub fn initialize(f: &mut Fields, c: &Consts) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+
+    // A "reasonable background" first, as the reference comments — some
+    // points would otherwise start uninitialized on coarse grids.
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let base = f.idx5(0, i, j, k);
+                f.u[base] = 1.0;
+                f.u[base + 1] = 0.0;
+                f.u[base + 2] = 0.0;
+                f.u[base + 3] = 0.0;
+                f.u[base + 4] = 1.0;
+            }
+        }
+    }
+
+    // Transfinite interpolation of the face solutions.
+    for k in 0..nz {
+        let zeta = k as f64 * c.dnzm1;
+        for j in 0..ny {
+            let eta = j as f64 * c.dnym1;
+            for i in 0..nx {
+                let xi = i as f64 * c.dnxm1;
+                let pface: [[f64; 5]; 6] = [
+                    c.exact_solution(0.0, eta, zeta),
+                    c.exact_solution(1.0, eta, zeta),
+                    c.exact_solution(xi, 0.0, zeta),
+                    c.exact_solution(xi, 1.0, zeta),
+                    c.exact_solution(xi, eta, 0.0),
+                    c.exact_solution(xi, eta, 1.0),
+                ];
+                for m in 0..5 {
+                    let pxi = xi * pface[1][m] + (1.0 - xi) * pface[0][m];
+                    let peta = eta * pface[3][m] + (1.0 - eta) * pface[2][m];
+                    let pzeta = zeta * pface[5][m] + (1.0 - zeta) * pface[4][m];
+                    f.u[crate::fields::idx5(nx, ny, m, i, j, k)] = pxi + peta + pzeta
+                        - pxi * peta
+                        - pxi * pzeta
+                        - peta * pzeta
+                        + pxi * peta * pzeta;
+                }
+            }
+        }
+    }
+
+    // Overwrite the six faces with the exact solution itself.
+    for k in 0..nz {
+        let zeta = k as f64 * c.dnzm1;
+        for j in 0..ny {
+            let eta = j as f64 * c.dnym1;
+            let west = c.exact_solution(0.0, eta, zeta);
+            let east = c.exact_solution(1.0, eta, zeta);
+            for m in 0..5 {
+                f.u[crate::fields::idx5(nx, ny, m, 0, j, k)] = west[m];
+                f.u[crate::fields::idx5(nx, ny, m, nx - 1, j, k)] = east[m];
+            }
+        }
+        for i in 0..nx {
+            let xi = i as f64 * c.dnxm1;
+            let south = c.exact_solution(xi, 0.0, zeta);
+            let north = c.exact_solution(xi, 1.0, zeta);
+            for m in 0..5 {
+                f.u[crate::fields::idx5(nx, ny, m, i, 0, k)] = south[m];
+                f.u[crate::fields::idx5(nx, ny, m, i, ny - 1, k)] = north[m];
+            }
+        }
+    }
+    for j in 0..ny {
+        let eta = j as f64 * c.dnym1;
+        for i in 0..nx {
+            let xi = i as f64 * c.dnxm1;
+            let bottom = c.exact_solution(xi, eta, 0.0);
+            let top = c.exact_solution(xi, eta, 1.0);
+            for m in 0..5 {
+                f.u[crate::fields::idx5(nx, ny, m, i, j, 0)] = bottom[m];
+                f.u[crate::fields::idx5(nx, ny, m, i, j, nz - 1)] = top[m];
+            }
+        }
+    }
+}
+
+/// Pencil scratch used by `exact_rhs`: the exact solution and its
+/// derived quantities along one grid line.
+struct Pencil {
+    ue: Vec<[f64; 5]>,
+    buf: Vec<[f64; 5]>,
+    cuf: Vec<f64>,
+    q: Vec<f64>,
+}
+
+impl Pencil {
+    fn new(n: usize) -> Pencil {
+        Pencil {
+            ue: vec![[0.0; 5]; n],
+            buf: vec![[0.0; 5]; n],
+            cuf: vec![0.0; n],
+            q: vec![0.0; n],
+        }
+    }
+}
+
+/// `exact_rhs`: evaluate the discrete operator on the exact solution and
+/// negate — the steady source terms of BT/SP.
+pub fn exact_rhs(f: &mut Fields, c: &Consts) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    f.forcing.fill(0.0);
+    let dssp = c.dssp;
+
+    // ---------------- xi-direction fluxes ----------------
+    let mut p = Pencil::new(nx.max(ny).max(nz));
+    for k in 1..nz - 1 {
+        let zeta = k as f64 * c.dnzm1;
+        for j in 1..ny - 1 {
+            let eta = j as f64 * c.dnym1;
+            for i in 0..nx {
+                let xi = i as f64 * c.dnxm1;
+                let dtemp = c.exact_solution(xi, eta, zeta);
+                p.ue[i] = dtemp;
+                let dtpp = 1.0 / dtemp[0];
+                for m in 1..5 {
+                    p.buf[i][m] = dtpp * dtemp[m];
+                }
+                p.cuf[i] = p.buf[i][1] * p.buf[i][1];
+                p.buf[i][0] = p.cuf[i] + p.buf[i][2] * p.buf[i][2] + p.buf[i][3] * p.buf[i][3];
+                p.q[i] = 0.5
+                    * (p.buf[i][1] * p.ue[i][1]
+                        + p.buf[i][2] * p.ue[i][2]
+                        + p.buf[i][3] * p.ue[i][3]);
+            }
+            for i in 1..nx - 1 {
+                let (im1, ip1) = (i - 1, i + 1);
+                let fi = |m| crate::fields::idx5(nx, ny, m, i, j, k);
+                f.forcing[fi(0)] += -c.tx2 * (p.ue[ip1][1] - p.ue[im1][1])
+                    + c.dx1tx1 * (p.ue[ip1][0] - 2.0 * p.ue[i][0] + p.ue[im1][0]);
+                f.forcing[fi(1)] += -c.tx2
+                    * ((p.ue[ip1][1] * p.buf[ip1][1] + c.c2 * (p.ue[ip1][4] - p.q[ip1]))
+                        - (p.ue[im1][1] * p.buf[im1][1] + c.c2 * (p.ue[im1][4] - p.q[im1])))
+                    + c.xxcon1 * (p.buf[ip1][1] - 2.0 * p.buf[i][1] + p.buf[im1][1])
+                    + c.dx2tx1 * (p.ue[ip1][1] - 2.0 * p.ue[i][1] + p.ue[im1][1]);
+                f.forcing[fi(2)] += -c.tx2
+                    * (p.ue[ip1][2] * p.buf[ip1][1] - p.ue[im1][2] * p.buf[im1][1])
+                    + c.xxcon2 * (p.buf[ip1][2] - 2.0 * p.buf[i][2] + p.buf[im1][2])
+                    + c.dx3tx1 * (p.ue[ip1][2] - 2.0 * p.ue[i][2] + p.ue[im1][2]);
+                f.forcing[fi(3)] += -c.tx2
+                    * (p.ue[ip1][3] * p.buf[ip1][1] - p.ue[im1][3] * p.buf[im1][1])
+                    + c.xxcon2 * (p.buf[ip1][3] - 2.0 * p.buf[i][3] + p.buf[im1][3])
+                    + c.dx4tx1 * (p.ue[ip1][3] - 2.0 * p.ue[i][3] + p.ue[im1][3]);
+                f.forcing[fi(4)] += -c.tx2
+                    * (p.buf[ip1][1] * (c.c1 * p.ue[ip1][4] - c.c2 * p.q[ip1])
+                        - p.buf[im1][1] * (c.c1 * p.ue[im1][4] - c.c2 * p.q[im1]))
+                    + 0.5 * c.xxcon3 * (p.buf[ip1][0] - 2.0 * p.buf[i][0] + p.buf[im1][0])
+                    + c.xxcon4 * (p.cuf[ip1] - 2.0 * p.cuf[i] + p.cuf[im1])
+                    + c.xxcon5 * (p.buf[ip1][4] - 2.0 * p.buf[i][4] + p.buf[im1][4])
+                    + c.dx5tx1 * (p.ue[ip1][4] - 2.0 * p.ue[i][4] + p.ue[im1][4]);
+            }
+            // Fourth-order dissipation at the xi boundaries and interior.
+            for m in 0..5 {
+                let mut i = 1;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -=
+                    dssp * (5.0 * p.ue[i][m] - 4.0 * p.ue[i + 1][m] + p.ue[i + 2][m]);
+                i = 2;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                    * (-4.0 * p.ue[i - 1][m] + 6.0 * p.ue[i][m] - 4.0 * p.ue[i + 1][m]
+                        + p.ue[i + 2][m]);
+                for i in 3..nx - 3 {
+                    f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                        * (p.ue[i - 2][m] - 4.0 * p.ue[i - 1][m] + 6.0 * p.ue[i][m]
+                            - 4.0 * p.ue[i + 1][m]
+                            + p.ue[i + 2][m]);
+                }
+                i = nx - 3;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                    * (p.ue[i - 2][m] - 4.0 * p.ue[i - 1][m] + 6.0 * p.ue[i][m]
+                        - 4.0 * p.ue[i + 1][m]);
+                i = nx - 2;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -=
+                    dssp * (p.ue[i - 2][m] - 4.0 * p.ue[i - 1][m] + 5.0 * p.ue[i][m]);
+            }
+        }
+    }
+
+    // ---------------- eta-direction fluxes ----------------
+    for k in 1..nz - 1 {
+        let zeta = k as f64 * c.dnzm1;
+        for i in 1..nx - 1 {
+            let xi = i as f64 * c.dnxm1;
+            for j in 0..ny {
+                let eta = j as f64 * c.dnym1;
+                let dtemp = c.exact_solution(xi, eta, zeta);
+                p.ue[j] = dtemp;
+                let dtpp = 1.0 / dtemp[0];
+                for m in 1..5 {
+                    p.buf[j][m] = dtpp * dtemp[m];
+                }
+                p.cuf[j] = p.buf[j][2] * p.buf[j][2];
+                p.buf[j][0] = p.cuf[j] + p.buf[j][1] * p.buf[j][1] + p.buf[j][3] * p.buf[j][3];
+                p.q[j] = 0.5
+                    * (p.buf[j][1] * p.ue[j][1]
+                        + p.buf[j][2] * p.ue[j][2]
+                        + p.buf[j][3] * p.ue[j][3]);
+            }
+            for j in 1..ny - 1 {
+                let (jm1, jp1) = (j - 1, j + 1);
+                let fi = |m| crate::fields::idx5(nx, ny, m, i, j, k);
+                f.forcing[fi(0)] += -c.ty2 * (p.ue[jp1][2] - p.ue[jm1][2])
+                    + c.dy1ty1 * (p.ue[jp1][0] - 2.0 * p.ue[j][0] + p.ue[jm1][0]);
+                f.forcing[fi(1)] += -c.ty2
+                    * (p.ue[jp1][1] * p.buf[jp1][2] - p.ue[jm1][1] * p.buf[jm1][2])
+                    + c.yycon2 * (p.buf[jp1][1] - 2.0 * p.buf[j][1] + p.buf[jm1][1])
+                    + c.dy2ty1 * (p.ue[jp1][1] - 2.0 * p.ue[j][1] + p.ue[jm1][1]);
+                f.forcing[fi(2)] += -c.ty2
+                    * ((p.ue[jp1][2] * p.buf[jp1][2] + c.c2 * (p.ue[jp1][4] - p.q[jp1]))
+                        - (p.ue[jm1][2] * p.buf[jm1][2] + c.c2 * (p.ue[jm1][4] - p.q[jm1])))
+                    + c.yycon1 * (p.buf[jp1][2] - 2.0 * p.buf[j][2] + p.buf[jm1][2])
+                    + c.dy3ty1 * (p.ue[jp1][2] - 2.0 * p.ue[j][2] + p.ue[jm1][2]);
+                f.forcing[fi(3)] += -c.ty2
+                    * (p.ue[jp1][3] * p.buf[jp1][2] - p.ue[jm1][3] * p.buf[jm1][2])
+                    + c.yycon2 * (p.buf[jp1][3] - 2.0 * p.buf[j][3] + p.buf[jm1][3])
+                    + c.dy4ty1 * (p.ue[jp1][3] - 2.0 * p.ue[j][3] + p.ue[jm1][3]);
+                f.forcing[fi(4)] += -c.ty2
+                    * (p.buf[jp1][2] * (c.c1 * p.ue[jp1][4] - c.c2 * p.q[jp1])
+                        - p.buf[jm1][2] * (c.c1 * p.ue[jm1][4] - c.c2 * p.q[jm1]))
+                    + 0.5 * c.yycon3 * (p.buf[jp1][0] - 2.0 * p.buf[j][0] + p.buf[jm1][0])
+                    + c.yycon4 * (p.cuf[jp1] - 2.0 * p.cuf[j] + p.cuf[jm1])
+                    + c.yycon5 * (p.buf[jp1][4] - 2.0 * p.buf[j][4] + p.buf[jm1][4])
+                    + c.dy5ty1 * (p.ue[jp1][4] - 2.0 * p.ue[j][4] + p.ue[jm1][4]);
+            }
+            for m in 0..5 {
+                let mut j = 1;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -=
+                    dssp * (5.0 * p.ue[j][m] - 4.0 * p.ue[j + 1][m] + p.ue[j + 2][m]);
+                j = 2;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                    * (-4.0 * p.ue[j - 1][m] + 6.0 * p.ue[j][m] - 4.0 * p.ue[j + 1][m]
+                        + p.ue[j + 2][m]);
+                for j in 3..ny - 3 {
+                    f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                        * (p.ue[j - 2][m] - 4.0 * p.ue[j - 1][m] + 6.0 * p.ue[j][m]
+                            - 4.0 * p.ue[j + 1][m]
+                            + p.ue[j + 2][m]);
+                }
+                j = ny - 3;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                    * (p.ue[j - 2][m] - 4.0 * p.ue[j - 1][m] + 6.0 * p.ue[j][m]
+                        - 4.0 * p.ue[j + 1][m]);
+                j = ny - 2;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -=
+                    dssp * (p.ue[j - 2][m] - 4.0 * p.ue[j - 1][m] + 5.0 * p.ue[j][m]);
+            }
+        }
+    }
+
+    // ---------------- zeta-direction fluxes ----------------
+    for j in 1..ny - 1 {
+        let eta = j as f64 * c.dnym1;
+        for i in 1..nx - 1 {
+            let xi = i as f64 * c.dnxm1;
+            for k in 0..nz {
+                let zeta = k as f64 * c.dnzm1;
+                let dtemp = c.exact_solution(xi, eta, zeta);
+                p.ue[k] = dtemp;
+                let dtpp = 1.0 / dtemp[0];
+                for m in 1..5 {
+                    p.buf[k][m] = dtpp * dtemp[m];
+                }
+                p.cuf[k] = p.buf[k][3] * p.buf[k][3];
+                p.buf[k][0] = p.cuf[k] + p.buf[k][1] * p.buf[k][1] + p.buf[k][2] * p.buf[k][2];
+                p.q[k] = 0.5
+                    * (p.buf[k][1] * p.ue[k][1]
+                        + p.buf[k][2] * p.ue[k][2]
+                        + p.buf[k][3] * p.ue[k][3]);
+            }
+            for k in 1..nz - 1 {
+                let (km1, kp1) = (k - 1, k + 1);
+                let fi = |m| crate::fields::idx5(nx, ny, m, i, j, k);
+                f.forcing[fi(0)] += -c.tz2 * (p.ue[kp1][3] - p.ue[km1][3])
+                    + c.dz1tz1 * (p.ue[kp1][0] - 2.0 * p.ue[k][0] + p.ue[km1][0]);
+                f.forcing[fi(1)] += -c.tz2
+                    * (p.ue[kp1][1] * p.buf[kp1][3] - p.ue[km1][1] * p.buf[km1][3])
+                    + c.zzcon2 * (p.buf[kp1][1] - 2.0 * p.buf[k][1] + p.buf[km1][1])
+                    + c.dz2tz1 * (p.ue[kp1][1] - 2.0 * p.ue[k][1] + p.ue[km1][1]);
+                f.forcing[fi(2)] += -c.tz2
+                    * (p.ue[kp1][2] * p.buf[kp1][3] - p.ue[km1][2] * p.buf[km1][3])
+                    + c.zzcon2 * (p.buf[kp1][2] - 2.0 * p.buf[k][2] + p.buf[km1][2])
+                    + c.dz3tz1 * (p.ue[kp1][2] - 2.0 * p.ue[k][2] + p.ue[km1][2]);
+                f.forcing[fi(3)] += -c.tz2
+                    * ((p.ue[kp1][3] * p.buf[kp1][3] + c.c2 * (p.ue[kp1][4] - p.q[kp1]))
+                        - (p.ue[km1][3] * p.buf[km1][3] + c.c2 * (p.ue[km1][4] - p.q[km1])))
+                    + c.zzcon1 * (p.buf[kp1][3] - 2.0 * p.buf[k][3] + p.buf[km1][3])
+                    + c.dz4tz1 * (p.ue[kp1][3] - 2.0 * p.ue[k][3] + p.ue[km1][3]);
+                f.forcing[fi(4)] += -c.tz2
+                    * (p.buf[kp1][3] * (c.c1 * p.ue[kp1][4] - c.c2 * p.q[kp1])
+                        - p.buf[km1][3] * (c.c1 * p.ue[km1][4] - c.c2 * p.q[km1]))
+                    + 0.5 * c.zzcon3 * (p.buf[kp1][0] - 2.0 * p.buf[k][0] + p.buf[km1][0])
+                    + c.zzcon4 * (p.cuf[kp1] - 2.0 * p.cuf[k] + p.cuf[km1])
+                    + c.zzcon5 * (p.buf[kp1][4] - 2.0 * p.buf[k][4] + p.buf[km1][4])
+                    + c.dz5tz1 * (p.ue[kp1][4] - 2.0 * p.ue[k][4] + p.ue[km1][4]);
+            }
+            for m in 0..5 {
+                let mut k = 1;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -=
+                    dssp * (5.0 * p.ue[k][m] - 4.0 * p.ue[k + 1][m] + p.ue[k + 2][m]);
+                k = 2;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                    * (-4.0 * p.ue[k - 1][m] + 6.0 * p.ue[k][m] - 4.0 * p.ue[k + 1][m]
+                        + p.ue[k + 2][m]);
+                for k in 3..nz - 3 {
+                    f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                        * (p.ue[k - 2][m] - 4.0 * p.ue[k - 1][m] + 6.0 * p.ue[k][m]
+                            - 4.0 * p.ue[k + 1][m]
+                            + p.ue[k + 2][m]);
+                }
+                k = nz - 3;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -= dssp
+                    * (p.ue[k - 2][m] - 4.0 * p.ue[k - 1][m] + 6.0 * p.ue[k][m]
+                        - 4.0 * p.ue[k + 1][m]);
+                k = nz - 2;
+                f.forcing[crate::fields::idx5(nx, ny, m, i, j, k)] -=
+                    dssp * (p.ue[k - 2][m] - 4.0 * p.ue[k - 1][m] + 5.0 * p.ue[k][m]);
+            }
+        }
+    }
+
+    // Negate: the forcing opposes the operator so the exact field is
+    // steady.
+    for k in 1..nz - 1 {
+        for j in 1..ny - 1 {
+            for i in 1..nx - 1 {
+                for m in 0..5 {
+                    let id = f.idx5(m, i, j, k);
+                    f.forcing[id] = -1.0 * f.forcing[id];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialize_puts_exact_solution_on_faces() {
+        let c = Consts::new(8, 8, 8, 0.01);
+        let mut f = Fields::new(8, 8, 8);
+        initialize(&mut f, &c);
+        let want = c.exact_solution(0.0, 3.0 * c.dnym1, 5.0 * c.dnzm1);
+        for m in 0..5 {
+            assert_eq!(f.u[f.idx5(m, 0, 3, 5)], want[m]);
+        }
+        let want = c.exact_solution(2.0 * c.dnxm1, 1.0, 4.0 * c.dnzm1);
+        for m in 0..5 {
+            assert_eq!(f.u[f.idx5(m, 2, 7, 4)], want[m]);
+        }
+    }
+
+    #[test]
+    fn interior_blend_is_finite_and_positive() {
+        // The transfinite blend produces large (but finite, positive)
+        // interior values for this data; the solver then relaxes them.
+        let c = Consts::new(9, 9, 9, 0.01);
+        let mut f = Fields::new(9, 9, 9);
+        initialize(&mut f, &c);
+        for k in 0..9 {
+            for j in 0..9 {
+                for i in 0..9 {
+                    let rho = f.u[f.idx5(0, i, j, k)];
+                    let e = f.u[f.idx5(4, i, j, k)];
+                    assert!(rho.is_finite() && rho > 0.0, "rho({i},{j},{k}) = {rho}");
+                    assert!(e.is_finite() && e > 0.0, "energy({i},{j},{k}) = {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_is_zero_on_boundary_and_nonzero_inside() {
+        let c = Consts::new(8, 8, 8, 0.01);
+        let mut f = Fields::new(8, 8, 8);
+        exact_rhs(&mut f, &c);
+        for m in 0..5 {
+            assert_eq!(f.forcing[f.idx5(m, 0, 4, 4)], 0.0);
+            assert_eq!(f.forcing[f.idx5(m, 4, 0, 4)], 0.0);
+        }
+        let nonzero = (0..5).any(|m| f.forcing[f.idx5(m, 4, 4, 4)].abs() > 1e-12);
+        assert!(nonzero);
+    }
+
+    #[test]
+    fn exact_rhs_is_deterministic() {
+        let c = Consts::new(8, 8, 8, 0.01);
+        let mut f1 = Fields::new(8, 8, 8);
+        let mut f2 = Fields::new(8, 8, 8);
+        exact_rhs(&mut f1, &c);
+        exact_rhs(&mut f2, &c);
+        assert_eq!(f1.forcing, f2.forcing);
+    }
+}

@@ -1,0 +1,143 @@
+//! Flux (`fjac`) and viscous (`njac`) Jacobians of the discretized
+//! Navier-Stokes operator, per coordinate direction — shared by BT's
+//! block-tridiagonal factorization and LU's lower/upper SSOR Jacobians
+//! (`jacld`/`jacu`), which assemble exactly these blocks with direction
+//! signs and artificial-viscosity diagonals.
+
+use crate::consts::Consts;
+
+/// A 5x5 block, indexed `[row][col]`.
+pub type Block = [[f64; 5]; 5];
+
+/// Zero block.
+pub const ZERO_BLOCK: Block = [[0.0; 5]; 5];
+
+/// Flux/viscous Jacobians in the x direction at one point.
+#[inline]
+pub fn jac_x(c: &Consts, u: &[f64; 5], qs: f64, square: f64, fj: &mut Block, nj: &mut Block) {
+    let tmp1 = 1.0 / u[0];
+    let tmp2 = tmp1 * tmp1;
+    let tmp3 = tmp1 * tmp2;
+
+    *fj = ZERO_BLOCK;
+    fj[0][1] = 1.0;
+    fj[1][0] = -(u[1] * tmp2 * u[1]) + c.c2 * qs;
+    fj[1][1] = (2.0 - c.c2) * (u[1] / u[0]);
+    fj[1][2] = -c.c2 * (u[2] * tmp1);
+    fj[1][3] = -c.c2 * (u[3] * tmp1);
+    fj[1][4] = c.c2;
+    fj[2][0] = -(u[1] * u[2]) * tmp2;
+    fj[2][1] = u[2] * tmp1;
+    fj[2][2] = u[1] * tmp1;
+    fj[3][0] = -(u[1] * u[3]) * tmp2;
+    fj[3][1] = u[3] * tmp1;
+    fj[3][3] = u[1] * tmp1;
+    fj[4][0] = (c.c2 * 2.0 * square - c.c1 * u[4]) * (u[1] * tmp2);
+    fj[4][1] = c.c1 * u[4] * tmp1 - c.c2 * (u[1] * u[1] * tmp2 + qs);
+    fj[4][2] = -c.c2 * (u[2] * u[1]) * tmp2;
+    fj[4][3] = -c.c2 * (u[3] * u[1]) * tmp2;
+    fj[4][4] = c.c1 * (u[1] * tmp1);
+
+    *nj = ZERO_BLOCK;
+    nj[1][0] = -c.con43 * c.c3c4 * tmp2 * u[1];
+    nj[1][1] = c.con43 * c.c3c4 * tmp1;
+    nj[2][0] = -c.c3c4 * tmp2 * u[2];
+    nj[2][2] = c.c3c4 * tmp1;
+    nj[3][0] = -c.c3c4 * tmp2 * u[3];
+    nj[3][3] = c.c3c4 * tmp1;
+    nj[4][0] = -(c.con43 * c.c3c4 - c.c1345) * tmp3 * (u[1] * u[1])
+        - (c.c3c4 - c.c1345) * tmp3 * (u[2] * u[2])
+        - (c.c3c4 - c.c1345) * tmp3 * (u[3] * u[3])
+        - c.c1345 * tmp2 * u[4];
+    nj[4][1] = (c.con43 * c.c3c4 - c.c1345) * tmp2 * u[1];
+    nj[4][2] = (c.c3c4 - c.c1345) * tmp2 * u[2];
+    nj[4][3] = (c.c3c4 - c.c1345) * tmp2 * u[3];
+    nj[4][4] = c.c1345 * tmp1;
+}
+
+/// Flux/viscous Jacobians in the y direction at one point.
+#[inline]
+pub fn jac_y(c: &Consts, u: &[f64; 5], qs: f64, square: f64, fj: &mut Block, nj: &mut Block) {
+    let tmp1 = 1.0 / u[0];
+    let tmp2 = tmp1 * tmp1;
+    let tmp3 = tmp1 * tmp2;
+
+    *fj = ZERO_BLOCK;
+    fj[0][2] = 1.0;
+    fj[1][0] = -(u[1] * u[2]) * tmp2;
+    fj[1][1] = u[2] * tmp1;
+    fj[1][2] = u[1] * tmp1;
+    fj[2][0] = -(u[2] * u[2] * tmp2) + c.c2 * qs;
+    fj[2][1] = -c.c2 * u[1] * tmp1;
+    fj[2][2] = (2.0 - c.c2) * u[2] * tmp1;
+    fj[2][3] = -c.c2 * u[3] * tmp1;
+    fj[2][4] = c.c2;
+    fj[3][0] = -(u[2] * u[3]) * tmp2;
+    fj[3][2] = u[3] * tmp1;
+    fj[3][3] = u[2] * tmp1;
+    fj[4][0] = (c.c2 * 2.0 * square - c.c1 * u[4]) * u[2] * tmp2;
+    fj[4][1] = -c.c2 * u[1] * u[2] * tmp2;
+    fj[4][2] = c.c1 * u[4] * tmp1 - c.c2 * (qs + u[2] * u[2] * tmp2);
+    fj[4][3] = -c.c2 * (u[2] * u[3]) * tmp2;
+    fj[4][4] = c.c1 * u[2] * tmp1;
+
+    *nj = ZERO_BLOCK;
+    nj[1][0] = -c.c3c4 * tmp2 * u[1];
+    nj[1][1] = c.c3c4 * tmp1;
+    nj[2][0] = -c.con43 * c.c3c4 * tmp2 * u[2];
+    nj[2][2] = c.con43 * c.c3c4 * tmp1;
+    nj[3][0] = -c.c3c4 * tmp2 * u[3];
+    nj[3][3] = c.c3c4 * tmp1;
+    nj[4][0] = -(c.c3c4 - c.c1345) * tmp3 * (u[1] * u[1])
+        - (c.con43 * c.c3c4 - c.c1345) * tmp3 * (u[2] * u[2])
+        - (c.c3c4 - c.c1345) * tmp3 * (u[3] * u[3])
+        - c.c1345 * tmp2 * u[4];
+    nj[4][1] = (c.c3c4 - c.c1345) * tmp2 * u[1];
+    nj[4][2] = (c.con43 * c.c3c4 - c.c1345) * tmp2 * u[2];
+    nj[4][3] = (c.c3c4 - c.c1345) * tmp2 * u[3];
+    nj[4][4] = c.c1345 * tmp1;
+}
+
+/// Flux/viscous Jacobians in the z direction at one point.
+#[inline]
+pub fn jac_z(c: &Consts, u: &[f64; 5], qs: f64, square: f64, fj: &mut Block, nj: &mut Block) {
+    let tmp1 = 1.0 / u[0];
+    let tmp2 = tmp1 * tmp1;
+    let tmp3 = tmp1 * tmp2;
+
+    *fj = ZERO_BLOCK;
+    fj[0][3] = 1.0;
+    fj[1][0] = -(u[1] * u[3]) * tmp2;
+    fj[1][1] = u[3] * tmp1;
+    fj[1][3] = u[1] * tmp1;
+    fj[2][0] = -(u[2] * u[3]) * tmp2;
+    fj[2][2] = u[3] * tmp1;
+    fj[2][3] = u[2] * tmp1;
+    fj[3][0] = -(u[3] * u[3] * tmp2) + c.c2 * qs;
+    fj[3][1] = -c.c2 * u[1] * tmp1;
+    fj[3][2] = -c.c2 * u[2] * tmp1;
+    fj[3][3] = (2.0 - c.c2) * u[3] * tmp1;
+    fj[3][4] = c.c2;
+    fj[4][0] = (c.c2 * 2.0 * square - c.c1 * u[4]) * u[3] * tmp2;
+    fj[4][1] = -c.c2 * (u[1] * u[3]) * tmp2;
+    fj[4][2] = -c.c2 * (u[2] * u[3]) * tmp2;
+    fj[4][3] = c.c1 * u[4] * tmp1 - c.c2 * (qs + u[3] * u[3] * tmp2);
+    fj[4][4] = c.c1 * u[3] * tmp1;
+
+    *nj = ZERO_BLOCK;
+    nj[1][0] = -c.c3c4 * tmp2 * u[1];
+    nj[1][1] = c.c3c4 * tmp1;
+    nj[2][0] = -c.c3c4 * tmp2 * u[2];
+    nj[2][2] = c.c3c4 * tmp1;
+    nj[3][0] = -c.con43 * c.c3c4 * tmp2 * u[3];
+    nj[3][3] = c.con43 * c.c3c4 * tmp1;
+    nj[4][0] = -(c.c3c4 - c.c1345) * tmp3 * (u[1] * u[1])
+        - (c.c3c4 - c.c1345) * tmp3 * (u[2] * u[2])
+        - (c.con43 * c.c3c4 - c.c1345) * tmp3 * (u[3] * u[3])
+        - c.c1345 * tmp2 * u[4];
+    nj[4][1] = (c.c3c4 - c.c1345) * tmp2 * u[1];
+    nj[4][2] = (c.c3c4 - c.c1345) * tmp2 * u[2];
+    nj[4][3] = (c.con43 * c.c3c4 - c.c1345) * tmp2 * u[3];
+    nj[4][4] = c.c1345 * tmp1;
+}
+

@@ -1,0 +1,101 @@
+//! Verification norms: solution error against the exact polynomial
+//! (`error_norm`) and RHS residual magnitude (`rhs_norm`), exactly as
+//! `verify` in `bt.f` / `sp.f` computes them.
+
+use crate::consts::Consts;
+use crate::fields::Fields;
+
+/// RMS error of `u` against the exact solution, per component, scaled by
+/// the interior point count (the reference sums over *all* grid points
+/// but divides by the interior extents).
+pub fn error_norm(f: &Fields, c: &Consts) -> [f64; 5] {
+    let mut rms = [0.0f64; 5];
+    for k in 0..f.nz {
+        let zeta = k as f64 * c.dnzm1;
+        for j in 0..f.ny {
+            let eta = j as f64 * c.dnym1;
+            for i in 0..f.nx {
+                let xi = i as f64 * c.dnxm1;
+                let e = c.exact_solution(xi, eta, zeta);
+                for m in 0..5 {
+                    let add = f.u[f.idx5(m, i, j, k)] - e[m];
+                    rms[m] += add * add;
+                }
+            }
+        }
+    }
+    finish(rms, f)
+}
+
+/// RMS of the interior RHS, per component.
+pub fn rhs_norm(f: &Fields) -> [f64; 5] {
+    let mut rms = [0.0f64; 5];
+    for k in 1..f.nz - 1 {
+        for j in 1..f.ny - 1 {
+            for i in 1..f.nx - 1 {
+                for m in 0..5 {
+                    let add = f.rhs[f.idx5(m, i, j, k)];
+                    rms[m] += add * add;
+                }
+            }
+        }
+    }
+    finish(rms, f)
+}
+
+fn finish(mut rms: [f64; 5], f: &Fields) -> [f64; 5] {
+    for r in rms.iter_mut() {
+        // The reference divides by each interior extent in turn.
+        *r = (*r / (f.nx - 2) as f64 / (f.ny - 2) as f64 / (f.nz - 2) as f64).sqrt();
+    }
+    rms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::initialize;
+
+    #[test]
+    fn error_norm_zero_for_exact_field() {
+        let c = Consts::new(8, 8, 8, 0.01);
+        let mut f = Fields::new(8, 8, 8);
+        for k in 0..8 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    let e = c.exact_solution(
+                        i as f64 * c.dnxm1,
+                        j as f64 * c.dnym1,
+                        k as f64 * c.dnzm1,
+                    );
+                    for m in 0..5 {
+                        let id = f.idx5(m, i, j, k);
+                        f.u[id] = e[m];
+                    }
+                }
+            }
+        }
+        let rms = error_norm(&f, &c);
+        assert!(rms.iter().all(|&r| r == 0.0), "{rms:?}");
+    }
+
+    #[test]
+    fn error_norm_positive_for_initialized_field() {
+        let c = Consts::new(8, 8, 8, 0.01);
+        let mut f = Fields::new(8, 8, 8);
+        initialize(&mut f, &c);
+        let rms = error_norm(&f, &c);
+        assert!(rms.iter().all(|&r| r > 0.0), "{rms:?}");
+    }
+
+    #[test]
+    fn rhs_norm_scales_with_rhs() {
+        let mut f = Fields::new(8, 8, 8);
+        f.rhs.fill(2.0);
+        let rms = rhs_norm(&f);
+        // Interior has 6^3 points, denominator 6^3 → rms = 2 exactly.
+        for m in 0..5 {
+            assert!((rms[m] - 2.0).abs() < 1e-12);
+        }
+    }
+}

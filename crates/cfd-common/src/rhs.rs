@@ -1,0 +1,520 @@
+//! `compute_rhs` — the explicit right-hand side of BT and SP — and the
+//! final `add` update. This is the dominant timed code of both
+//! pseudo-applications; it is a line-for-line port of the reference with
+//! the same OpenMP-style parallel structure (every phase partitions the
+//! outermost grid dimension, with barriers where a phase reads another
+//! phase's cross-plane writes).
+
+use crate::consts::Consts;
+use crate::fields::{idx, idx5, Fields};
+use npb_core::ld;
+use npb_runtime::{run_par, SharedMut, Team};
+
+/// Evaluate the right-hand side into `f.rhs`.
+///
+/// `SPEED` additionally fills the speed-of-sound grid (needed by SP's
+/// diagonalized solvers; BT instantiates with `false`).
+pub fn compute_rhs<const SAFE: bool, const SPEED: bool>(
+    f: &mut Fields,
+    c: &Consts,
+    team: Option<&Team>,
+) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let u: &[f64] = &f.u;
+    let forcing: &[f64] = &f.forcing;
+    // SAFETY: every phase writes only this thread's k-partition of each
+    // array; cross-partition reads only happen after the barriers below.
+    let rhs = unsafe { SharedMut::new(&mut f.rhs) };
+    let rho_i = unsafe { SharedMut::new(&mut f.rho_i) };
+    let us = unsafe { SharedMut::new(&mut f.us) };
+    let vs = unsafe { SharedMut::new(&mut f.vs) };
+    let ws = unsafe { SharedMut::new(&mut f.ws) };
+    let qs = unsafe { SharedMut::new(&mut f.qs) };
+    let square = unsafe { SharedMut::new(&mut f.square) };
+    let speed = unsafe { SharedMut::new(&mut f.speed) };
+
+    run_par(team, |par| {
+        let u5 = |m, i, j, k| ld::<_, SAFE>(u, idx5(nx, ny, m, i, j, k));
+        let f5 = |m, i, j, k| ld::<_, SAFE>(forcing, idx5(nx, ny, m, i, j, k));
+        let s_id = |i, j, k| idx(nx, ny, i, j, k);
+
+        // Phase 1: point quantities, all planes.
+        for k in par.range(nz) {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let id = s_id(i, j, k);
+                    let rho_inv = 1.0 / u5(0, i, j, k);
+                    rho_i.set::<SAFE>(id, rho_inv);
+                    us.set::<SAFE>(id, rho_inv * u5(1, i, j, k));
+                    vs.set::<SAFE>(id, rho_inv * u5(2, i, j, k));
+                    ws.set::<SAFE>(id, rho_inv * u5(3, i, j, k));
+                    let sq = 0.5
+                        * (u5(1, i, j, k) * u5(1, i, j, k)
+                            + u5(2, i, j, k) * u5(2, i, j, k)
+                            + u5(3, i, j, k) * u5(3, i, j, k))
+                        * rho_inv;
+                    square.set::<SAFE>(id, sq);
+                    qs.set::<SAFE>(id, sq * rho_inv);
+                    if SPEED {
+                        let aux = c.c1c2 * rho_inv * (u5(4, i, j, k) - sq);
+                        speed.set::<SAFE>(id, aux.sqrt());
+                    }
+                }
+            }
+        }
+        par.barrier();
+
+        // Phase 2: rhs = forcing, all points.
+        for k in par.range(nz) {
+            for j in 0..ny {
+                for i in 0..nx {
+                    for m in 0..5 {
+                        rhs.set::<SAFE>(idx5(nx, ny, m, i, j, k), f5(m, i, j, k));
+                    }
+                }
+            }
+        }
+        par.barrier();
+
+        // Phase 3: xi-direction fluxes + dissipation (interior planes).
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let uijk = us.get::<SAFE>(s_id(i, j, k));
+                    let up1 = us.get::<SAFE>(s_id(i + 1, j, k));
+                    let um1 = us.get::<SAFE>(s_id(i - 1, j, k));
+                    let r = |m| idx5(nx, ny, m, i, j, k);
+
+                    rhs.add::<SAFE>(
+                        r(0),
+                        c.dx1tx1 * (u5(0, i + 1, j, k) - 2.0 * u5(0, i, j, k) + u5(0, i - 1, j, k))
+                            - c.tx2 * (u5(1, i + 1, j, k) - u5(1, i - 1, j, k)),
+                    );
+                    rhs.add::<SAFE>(
+                        r(1),
+                        c.dx2tx1 * (u5(1, i + 1, j, k) - 2.0 * u5(1, i, j, k) + u5(1, i - 1, j, k))
+                            + c.xxcon2 * c.con43 * (up1 - 2.0 * uijk + um1)
+                            - c.tx2
+                                * (u5(1, i + 1, j, k) * up1 - u5(1, i - 1, j, k) * um1
+                                    + (u5(4, i + 1, j, k)
+                                        - square.get::<SAFE>(s_id(i + 1, j, k))
+                                        - u5(4, i - 1, j, k)
+                                        + square.get::<SAFE>(s_id(i - 1, j, k)))
+                                        * c.c2),
+                    );
+                    rhs.add::<SAFE>(
+                        r(2),
+                        c.dx3tx1 * (u5(2, i + 1, j, k) - 2.0 * u5(2, i, j, k) + u5(2, i - 1, j, k))
+                            + c.xxcon2
+                                * (vs.get::<SAFE>(s_id(i + 1, j, k))
+                                    - 2.0 * vs.get::<SAFE>(s_id(i, j, k))
+                                    + vs.get::<SAFE>(s_id(i - 1, j, k)))
+                            - c.tx2 * (u5(2, i + 1, j, k) * up1 - u5(2, i - 1, j, k) * um1),
+                    );
+                    rhs.add::<SAFE>(
+                        r(3),
+                        c.dx4tx1 * (u5(3, i + 1, j, k) - 2.0 * u5(3, i, j, k) + u5(3, i - 1, j, k))
+                            + c.xxcon2
+                                * (ws.get::<SAFE>(s_id(i + 1, j, k))
+                                    - 2.0 * ws.get::<SAFE>(s_id(i, j, k))
+                                    + ws.get::<SAFE>(s_id(i - 1, j, k)))
+                            - c.tx2 * (u5(3, i + 1, j, k) * up1 - u5(3, i - 1, j, k) * um1),
+                    );
+                    rhs.add::<SAFE>(
+                        r(4),
+                        c.dx5tx1 * (u5(4, i + 1, j, k) - 2.0 * u5(4, i, j, k) + u5(4, i - 1, j, k))
+                            + c.xxcon3
+                                * (qs.get::<SAFE>(s_id(i + 1, j, k))
+                                    - 2.0 * qs.get::<SAFE>(s_id(i, j, k))
+                                    + qs.get::<SAFE>(s_id(i - 1, j, k)))
+                            + c.xxcon4 * (up1 * up1 - 2.0 * uijk * uijk + um1 * um1)
+                            + c.xxcon5
+                                * (u5(4, i + 1, j, k) * rho_i.get::<SAFE>(s_id(i + 1, j, k))
+                                    - 2.0
+                                        * u5(4, i, j, k)
+                                        * rho_i.get::<SAFE>(s_id(i, j, k))
+                                    + u5(4, i - 1, j, k)
+                                        * rho_i.get::<SAFE>(s_id(i - 1, j, k)))
+                            - c.tx2
+                                * ((c.c1 * u5(4, i + 1, j, k)
+                                    - c.c2 * square.get::<SAFE>(s_id(i + 1, j, k)))
+                                    * up1
+                                    - (c.c1 * u5(4, i - 1, j, k)
+                                        - c.c2 * square.get::<SAFE>(s_id(i - 1, j, k)))
+                                        * um1),
+                    );
+                }
+                // xi dissipation.
+                for m in 0..5 {
+                    let mut i = 1;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (5.0 * u5(m, i, j, k) - 4.0 * u5(m, i + 1, j, k)
+                                + u5(m, i + 2, j, k)),
+                    );
+                    i = 2;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (-4.0 * u5(m, i - 1, j, k) + 6.0 * u5(m, i, j, k)
+                                - 4.0 * u5(m, i + 1, j, k)
+                                + u5(m, i + 2, j, k)),
+                    );
+                    for i in 3..nx - 3 {
+                        rhs.add::<SAFE>(
+                            idx5(nx, ny, m, i, j, k),
+                            -c.dssp
+                                * (u5(m, i - 2, j, k) - 4.0 * u5(m, i - 1, j, k)
+                                    + 6.0 * u5(m, i, j, k)
+                                    - 4.0 * u5(m, i + 1, j, k)
+                                    + u5(m, i + 2, j, k)),
+                        );
+                    }
+                    i = nx - 3;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (u5(m, i - 2, j, k) - 4.0 * u5(m, i - 1, j, k)
+                                + 6.0 * u5(m, i, j, k)
+                                - 4.0 * u5(m, i + 1, j, k)),
+                    );
+                    i = nx - 2;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (u5(m, i - 2, j, k) - 4.0 * u5(m, i - 1, j, k)
+                                + 5.0 * u5(m, i, j, k)),
+                    );
+                }
+            }
+        }
+
+        // Phase 4: eta-direction fluxes + dissipation.
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let vijk = vs.get::<SAFE>(s_id(i, j, k));
+                    let vp1 = vs.get::<SAFE>(s_id(i, j + 1, k));
+                    let vm1 = vs.get::<SAFE>(s_id(i, j - 1, k));
+                    let r = |m| idx5(nx, ny, m, i, j, k);
+
+                    rhs.add::<SAFE>(
+                        r(0),
+                        c.dy1ty1 * (u5(0, i, j + 1, k) - 2.0 * u5(0, i, j, k) + u5(0, i, j - 1, k))
+                            - c.ty2 * (u5(2, i, j + 1, k) - u5(2, i, j - 1, k)),
+                    );
+                    rhs.add::<SAFE>(
+                        r(1),
+                        c.dy2ty1 * (u5(1, i, j + 1, k) - 2.0 * u5(1, i, j, k) + u5(1, i, j - 1, k))
+                            + c.yycon2
+                                * (us.get::<SAFE>(s_id(i, j + 1, k))
+                                    - 2.0 * us.get::<SAFE>(s_id(i, j, k))
+                                    + us.get::<SAFE>(s_id(i, j - 1, k)))
+                            - c.ty2 * (u5(1, i, j + 1, k) * vp1 - u5(1, i, j - 1, k) * vm1),
+                    );
+                    rhs.add::<SAFE>(
+                        r(2),
+                        c.dy3ty1 * (u5(2, i, j + 1, k) - 2.0 * u5(2, i, j, k) + u5(2, i, j - 1, k))
+                            + c.yycon2 * c.con43 * (vp1 - 2.0 * vijk + vm1)
+                            - c.ty2
+                                * (u5(2, i, j + 1, k) * vp1 - u5(2, i, j - 1, k) * vm1
+                                    + (u5(4, i, j + 1, k)
+                                        - square.get::<SAFE>(s_id(i, j + 1, k))
+                                        - u5(4, i, j - 1, k)
+                                        + square.get::<SAFE>(s_id(i, j - 1, k)))
+                                        * c.c2),
+                    );
+                    rhs.add::<SAFE>(
+                        r(3),
+                        c.dy4ty1 * (u5(3, i, j + 1, k) - 2.0 * u5(3, i, j, k) + u5(3, i, j - 1, k))
+                            + c.yycon2
+                                * (ws.get::<SAFE>(s_id(i, j + 1, k))
+                                    - 2.0 * ws.get::<SAFE>(s_id(i, j, k))
+                                    + ws.get::<SAFE>(s_id(i, j - 1, k)))
+                            - c.ty2 * (u5(3, i, j + 1, k) * vp1 - u5(3, i, j - 1, k) * vm1),
+                    );
+                    rhs.add::<SAFE>(
+                        r(4),
+                        c.dy5ty1 * (u5(4, i, j + 1, k) - 2.0 * u5(4, i, j, k) + u5(4, i, j - 1, k))
+                            + c.yycon3
+                                * (qs.get::<SAFE>(s_id(i, j + 1, k))
+                                    - 2.0 * qs.get::<SAFE>(s_id(i, j, k))
+                                    + qs.get::<SAFE>(s_id(i, j - 1, k)))
+                            + c.yycon4 * (vp1 * vp1 - 2.0 * vijk * vijk + vm1 * vm1)
+                            + c.yycon5
+                                * (u5(4, i, j + 1, k) * rho_i.get::<SAFE>(s_id(i, j + 1, k))
+                                    - 2.0
+                                        * u5(4, i, j, k)
+                                        * rho_i.get::<SAFE>(s_id(i, j, k))
+                                    + u5(4, i, j - 1, k)
+                                        * rho_i.get::<SAFE>(s_id(i, j - 1, k)))
+                            - c.ty2
+                                * ((c.c1 * u5(4, i, j + 1, k)
+                                    - c.c2 * square.get::<SAFE>(s_id(i, j + 1, k)))
+                                    * vp1
+                                    - (c.c1 * u5(4, i, j - 1, k)
+                                        - c.c2 * square.get::<SAFE>(s_id(i, j - 1, k)))
+                                        * vm1),
+                    );
+                }
+            }
+            // eta dissipation.
+            for m in 0..5 {
+                for i in 1..nx - 1 {
+                    let mut j = 1;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (5.0 * u5(m, i, j, k) - 4.0 * u5(m, i, j + 1, k)
+                                + u5(m, i, j + 2, k)),
+                    );
+                    j = 2;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (-4.0 * u5(m, i, j - 1, k) + 6.0 * u5(m, i, j, k)
+                                - 4.0 * u5(m, i, j + 1, k)
+                                + u5(m, i, j + 2, k)),
+                    );
+                    for j in 3..ny - 3 {
+                        rhs.add::<SAFE>(
+                            idx5(nx, ny, m, i, j, k),
+                            -c.dssp
+                                * (u5(m, i, j - 2, k) - 4.0 * u5(m, i, j - 1, k)
+                                    + 6.0 * u5(m, i, j, k)
+                                    - 4.0 * u5(m, i, j + 1, k)
+                                    + u5(m, i, j + 2, k)),
+                        );
+                    }
+                    j = ny - 3;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (u5(m, i, j - 2, k) - 4.0 * u5(m, i, j - 1, k)
+                                + 6.0 * u5(m, i, j, k)
+                                - 4.0 * u5(m, i, j + 1, k)),
+                    );
+                    j = ny - 2;
+                    rhs.add::<SAFE>(
+                        idx5(nx, ny, m, i, j, k),
+                        -c.dssp
+                            * (u5(m, i, j - 2, k) - 4.0 * u5(m, i, j - 1, k)
+                                + 5.0 * u5(m, i, j, k)),
+                    );
+                }
+            }
+        }
+
+        // Phase 5: zeta-direction fluxes + dissipation. Reads the point
+        // quantities at k±1, which phase 1's barrier made visible.
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let wijk = ws.get::<SAFE>(s_id(i, j, k));
+                    let wp1 = ws.get::<SAFE>(s_id(i, j, k + 1));
+                    let wm1 = ws.get::<SAFE>(s_id(i, j, k - 1));
+                    let r = |m| idx5(nx, ny, m, i, j, k);
+
+                    rhs.add::<SAFE>(
+                        r(0),
+                        c.dz1tz1 * (u5(0, i, j, k + 1) - 2.0 * u5(0, i, j, k) + u5(0, i, j, k - 1))
+                            - c.tz2 * (u5(3, i, j, k + 1) - u5(3, i, j, k - 1)),
+                    );
+                    rhs.add::<SAFE>(
+                        r(1),
+                        c.dz2tz1 * (u5(1, i, j, k + 1) - 2.0 * u5(1, i, j, k) + u5(1, i, j, k - 1))
+                            + c.zzcon2
+                                * (us.get::<SAFE>(s_id(i, j, k + 1))
+                                    - 2.0 * us.get::<SAFE>(s_id(i, j, k))
+                                    + us.get::<SAFE>(s_id(i, j, k - 1)))
+                            - c.tz2 * (u5(1, i, j, k + 1) * wp1 - u5(1, i, j, k - 1) * wm1),
+                    );
+                    rhs.add::<SAFE>(
+                        r(2),
+                        c.dz3tz1 * (u5(2, i, j, k + 1) - 2.0 * u5(2, i, j, k) + u5(2, i, j, k - 1))
+                            + c.zzcon2
+                                * (vs.get::<SAFE>(s_id(i, j, k + 1))
+                                    - 2.0 * vs.get::<SAFE>(s_id(i, j, k))
+                                    + vs.get::<SAFE>(s_id(i, j, k - 1)))
+                            - c.tz2 * (u5(2, i, j, k + 1) * wp1 - u5(2, i, j, k - 1) * wm1),
+                    );
+                    rhs.add::<SAFE>(
+                        r(3),
+                        c.dz4tz1 * (u5(3, i, j, k + 1) - 2.0 * u5(3, i, j, k) + u5(3, i, j, k - 1))
+                            + c.zzcon2 * c.con43 * (wp1 - 2.0 * wijk + wm1)
+                            - c.tz2
+                                * (u5(3, i, j, k + 1) * wp1 - u5(3, i, j, k - 1) * wm1
+                                    + (u5(4, i, j, k + 1)
+                                        - square.get::<SAFE>(s_id(i, j, k + 1))
+                                        - u5(4, i, j, k - 1)
+                                        + square.get::<SAFE>(s_id(i, j, k - 1)))
+                                        * c.c2),
+                    );
+                    rhs.add::<SAFE>(
+                        r(4),
+                        c.dz5tz1 * (u5(4, i, j, k + 1) - 2.0 * u5(4, i, j, k) + u5(4, i, j, k - 1))
+                            + c.zzcon3
+                                * (qs.get::<SAFE>(s_id(i, j, k + 1))
+                                    - 2.0 * qs.get::<SAFE>(s_id(i, j, k))
+                                    + qs.get::<SAFE>(s_id(i, j, k - 1)))
+                            + c.zzcon4 * (wp1 * wp1 - 2.0 * wijk * wijk + wm1 * wm1)
+                            + c.zzcon5
+                                * (u5(4, i, j, k + 1) * rho_i.get::<SAFE>(s_id(i, j, k + 1))
+                                    - 2.0
+                                        * u5(4, i, j, k)
+                                        * rho_i.get::<SAFE>(s_id(i, j, k))
+                                    + u5(4, i, j, k - 1)
+                                        * rho_i.get::<SAFE>(s_id(i, j, k - 1)))
+                            - c.tz2
+                                * ((c.c1 * u5(4, i, j, k + 1)
+                                    - c.c2 * square.get::<SAFE>(s_id(i, j, k + 1)))
+                                    * wp1
+                                    - (c.c1 * u5(4, i, j, k - 1)
+                                        - c.c2 * square.get::<SAFE>(s_id(i, j, k - 1)))
+                                        * wm1),
+                    );
+                }
+            }
+        }
+        // zeta dissipation: the special-k rows are written by whichever
+        // thread owns them in the interior partition.
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    for m in 0..5 {
+                        let id = idx5(nx, ny, m, i, j, k);
+                        let d = if k == 1 {
+                            5.0 * u5(m, i, j, k) - 4.0 * u5(m, i, j, k + 1) + u5(m, i, j, k + 2)
+                        } else if k == 2 {
+                            -4.0 * u5(m, i, j, k - 1) + 6.0 * u5(m, i, j, k)
+                                - 4.0 * u5(m, i, j, k + 1)
+                                + u5(m, i, j, k + 2)
+                        } else if k == nz - 3 {
+                            u5(m, i, j, k - 2) - 4.0 * u5(m, i, j, k - 1) + 6.0 * u5(m, i, j, k)
+                                - 4.0 * u5(m, i, j, k + 1)
+                        } else if k == nz - 2 {
+                            u5(m, i, j, k - 2) - 4.0 * u5(m, i, j, k - 1) + 5.0 * u5(m, i, j, k)
+                        } else {
+                            u5(m, i, j, k - 2) - 4.0 * u5(m, i, j, k - 1) + 6.0 * u5(m, i, j, k)
+                                - 4.0 * u5(m, i, j, k + 1)
+                                + u5(m, i, j, k + 2)
+                        };
+                        rhs.add::<SAFE>(id, -c.dssp * d);
+                    }
+                }
+            }
+        }
+
+        // Phase 6: scale by dt.
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    for m in 0..5 {
+                        let id = idx5(nx, ny, m, i, j, k);
+                        rhs.set::<SAFE>(id, rhs.get::<SAFE>(id) * c.dt);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `add`: `u += rhs` over the interior.
+pub fn add<const SAFE: bool>(f: &mut Fields, team: Option<&Team>) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let rhs: &[f64] = &f.rhs;
+    let u = unsafe { SharedMut::new(&mut f.u) };
+    run_par(team, |par| {
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    for m in 0..5 {
+                        let id = idx5(nx, ny, m, i, j, k);
+                        u.add::<SAFE>(id, ld::<_, SAFE>(rhs, id));
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_rhs, initialize};
+    use npb_runtime::Team;
+
+    fn setup(n: usize) -> (Fields, Consts) {
+        let c = Consts::new(n, n, n, 0.015);
+        let mut f = Fields::new(n, n, n);
+        initialize(&mut f, &c);
+        exact_rhs(&mut f, &c);
+        (f, c)
+    }
+
+    #[test]
+    fn rhs_on_exact_solution_is_small() {
+        // The forcing was built so the exact solution is steady: starting
+        // from the exact field everywhere, rhs must be ~zero (up to the
+        // interpolation-vs-exact mismatch of the initial field, which is
+        // zero here because initialize puts the exact solution only on
+        // the boundary — so instead load the exact solution everywhere).
+        let (mut f, c) = setup(10);
+        for k in 0..10 {
+            for j in 0..10 {
+                for i in 0..10 {
+                    let e = c.exact_solution(
+                        i as f64 * c.dnxm1,
+                        j as f64 * c.dnym1,
+                        k as f64 * c.dnzm1,
+                    );
+                    for m in 0..5 {
+                        let id = f.idx5(m, i, j, k);
+                        f.u[id] = e[m];
+                    }
+                }
+            }
+        }
+        compute_rhs::<false, true>(&mut f, &c, None);
+        let max = f.rhs.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!(max < 1e-10, "max |rhs| = {max}");
+    }
+
+    #[test]
+    fn parallel_rhs_matches_serial_bitwise() {
+        let (mut fs, c) = setup(12);
+        compute_rhs::<false, true>(&mut fs, &c, None);
+        for n in [2usize, 3] {
+            let team = Team::new(n);
+            let (mut fp, _) = setup(12);
+            compute_rhs::<false, true>(&mut fp, &c, Some(&team));
+            assert_eq!(fs.rhs, fp.rhs, "{n} threads");
+            assert_eq!(fs.speed, fp.speed);
+        }
+    }
+
+    #[test]
+    fn safe_and_opt_styles_agree_bitwise() {
+        let (mut fa, c) = setup(10);
+        let (mut fb, _) = setup(10);
+        compute_rhs::<false, true>(&mut fa, &c, None);
+        compute_rhs::<true, true>(&mut fb, &c, None);
+        assert_eq!(fa.rhs, fb.rhs);
+    }
+
+    #[test]
+    fn add_updates_interior_only() {
+        let (mut f, c) = setup(8);
+        compute_rhs::<false, false>(&mut f, &c, None);
+        let before = f.u.clone();
+        add::<false>(&mut f, None);
+        // Boundary unchanged.
+        for m in 0..5 {
+            assert_eq!(f.u[f.idx5(m, 0, 3, 3)], before[f.idx5(m, 0, 3, 3)]);
+        }
+        // Interior moved by rhs.
+        let id = f.idx5(0, 3, 3, 3);
+        assert_eq!(f.u[id], before[id] + f.rhs[id]);
+    }
+}

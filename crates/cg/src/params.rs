@@ -1,0 +1,93 @@
+//! Per-class parameters and published zeta references for CG.
+
+use npb_core::Class;
+
+/// CG problem parameters (NPB 3.0 class table).
+#[derive(Debug, Clone, Copy)]
+pub struct CgParams {
+    /// Matrix order.
+    pub na: usize,
+    /// Nonzeros per generated sparse vector.
+    pub nonzer: usize,
+    /// Eigenvalue shift.
+    pub shift: f64,
+    /// Outer (power-method) iterations.
+    pub niter: usize,
+    /// Reciprocal condition number used by the generator.
+    pub rcond: f64,
+    /// Published reference zeta, if any.
+    pub zeta_verify: Option<f64>,
+}
+
+impl CgParams {
+    /// NPB 3.0 class table.
+    pub fn for_class(class: Class) -> CgParams {
+        match class {
+            Class::S => CgParams {
+                na: 1400,
+                nonzer: 7,
+                shift: 10.0,
+                niter: 15,
+                rcond: 0.1,
+                zeta_verify: Some(8.5971775078648),
+            },
+            Class::W => CgParams {
+                na: 7000,
+                nonzer: 8,
+                shift: 12.0,
+                niter: 15,
+                rcond: 0.1,
+                zeta_verify: Some(10.362595087124),
+            },
+            Class::A => CgParams {
+                na: 14000,
+                nonzer: 11,
+                shift: 20.0,
+                niter: 15,
+                rcond: 0.1,
+                zeta_verify: Some(17.130235054029),
+            },
+            Class::B => CgParams {
+                na: 75000,
+                nonzer: 13,
+                shift: 60.0,
+                niter: 75,
+                rcond: 0.1,
+                zeta_verify: Some(22.712745482631),
+            },
+            Class::C => CgParams {
+                na: 150000,
+                nonzer: 15,
+                shift: 110.0,
+                niter: 75,
+                rcond: 0.1,
+                zeta_verify: Some(28.973605592845),
+            },
+        }
+    }
+
+    /// Work estimate NPB uses for CG's Mop/s accounting.
+    pub fn flops(&self) -> f64 {
+        let na = self.na as f64;
+        let nonzer = self.nonzer as f64;
+        2.0 * self.niter as f64
+            * na
+            * (3.0 + nonzer * (nonzer + 1.0) + 25.0 * (5.0 + nonzer * (nonzer + 1.0)) + 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_scale_up() {
+        let nas: Vec<usize> = Class::ALL.iter().map(|&c| CgParams::for_class(c).na).collect();
+        assert!(nas.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn flops_positive() {
+        assert!(CgParams::for_class(Class::S).flops() > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # npb-core
+//!
+//! Substrate shared by every benchmark in this reproduction of the NAS
+//! Parallel Benchmarks (NPB), after Frumkin, Schultz, Jin & Yan,
+//! *"Performance and Scalability of the NAS Parallel Benchmarks in Java"*
+//! (IPPS 2003).
+//!
+//! This crate contains everything the kernels have in common:
+//!
+//! * [`Class`] — the NPB problem classes (S, W, A, B, C),
+//! * [`random`] — the NPB 48-bit linear-congruential pseudo-random number
+//!   generator (`randlc` / `vranlc` / `ipow46`), in both the classic
+//!   double-precision formulation and a fast integer formulation,
+//! * [`timer`] — the multi-slot wall-clock timers NPB codes use,
+//! * [`verify`] — verification outcome types and the NPB relative-error
+//!   comparison,
+//! * [`report`] — the standard NPB result banner,
+//! * [`access`] — the dual-style (bounds-checked "Java" vs unchecked
+//!   "Fortran") element access used to reproduce the paper's
+//!   Java-vs-Fortran axis in a single code base.
+
+pub mod access;
+pub mod class;
+pub mod random;
+pub mod report;
+pub mod timer;
+pub mod verify;
+
+pub use access::{fmadd, ld, st, Style};
+pub use class::Class;
+pub use random::{ipow46, randlc, vranlc, Randlc, RandlcInt, A_DEFAULT, SEED_DEFAULT};
+pub use report::BenchReport;
+pub use timer::Timers;
+pub use verify::{rel_err_ok, Verified};

@@ -1,0 +1,120 @@
+//! The standard NPB result banner and a machine-readable result struct.
+
+use crate::{Class, Style, Verified};
+
+/// Everything a benchmark run reports — the same fields the NPB
+/// `print_results` routine prints.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark name ("BT", "SP", ...).
+    pub name: &'static str,
+    /// Problem class.
+    pub class: Class,
+    /// Problem size (grid extents, or `(n, 0, 0)` for 1-D problems).
+    pub size: (usize, usize, usize),
+    /// Number of benchmark iterations performed.
+    pub niter: usize,
+    /// Wall-clock seconds for the timed section.
+    pub time_secs: f64,
+    /// Millions of operations per second (benchmark-specific op count).
+    pub mops: f64,
+    /// Worker threads used (0 = pure serial path, no team).
+    pub threads: usize,
+    /// Execution style (opt = "Fortran", safe = "Java").
+    pub style: Style,
+    /// Verification outcome.
+    pub verified: Verified,
+}
+
+impl BenchReport {
+    /// Render the classic NPB banner.
+    pub fn banner(&self) -> String {
+        let ver = match self.verified {
+            Verified::Success => "SUCCESSFUL",
+            Verified::Failure => "UNSUCCESSFUL",
+            Verified::NotPerformed => "NOT PERFORMED",
+        };
+        let size = if self.size.1 == 0 {
+            format!("{:>12}", self.size.0)
+        } else {
+            format!("{:>4}x{:>4}x{:>4}", self.size.0, self.size.1, self.size.2)
+        };
+        let threads = if self.threads == 0 {
+            "serial".to_string()
+        } else {
+            format!("{} threads", self.threads)
+        };
+        format!(
+            "\n\n {} Benchmark Completed.\n\
+             Class           =             {}\n\
+             Size            =  {}\n\
+             Iterations      = {:>12}\n\
+             Time in seconds = {:>12.3}\n\
+             Mop/s total     = {:>12.2}\n\
+             Execution       = {:>12} ({})\n\
+             Verification    = {:>12}\n",
+            self.name,
+            self.class,
+            size,
+            self.niter,
+            self.time_secs,
+            self.mops,
+            threads,
+            self.style.label(),
+            ver
+        )
+    }
+
+    /// One-line CSV-ish record for harness output.
+    pub fn row(&self) -> String {
+        format!(
+            "{},{},{},{},{:.4},{:.2},{}",
+            self.name,
+            self.class,
+            self.style.label(),
+            self.threads,
+            self.time_secs,
+            self.mops,
+            if self.verified.is_success() { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            name: "CG",
+            class: Class::S,
+            size: (1400, 0, 0),
+            niter: 15,
+            time_secs: 0.123,
+            mops: 456.7,
+            threads: 4,
+            style: Style::Opt,
+            verified: Verified::Success,
+        }
+    }
+
+    #[test]
+    fn banner_contains_key_fields() {
+        let b = sample().banner();
+        assert!(b.contains("CG Benchmark Completed"));
+        assert!(b.contains("SUCCESSFUL"));
+        assert!(b.contains("4 threads"));
+    }
+
+    #[test]
+    fn serial_threads_label() {
+        let mut r = sample();
+        r.threads = 0;
+        assert!(r.banner().contains("serial"));
+    }
+
+    #[test]
+    fn row_is_stable() {
+        assert_eq!(sample().row(), "CG,S,opt,4,0.1230,456.70,ok");
+    }
+}

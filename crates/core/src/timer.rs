@@ -1,0 +1,107 @@
+//! Multi-slot wall-clock timers, mirroring the NPB `timers.f` interface
+//! (`timer_clear` / `timer_start` / `timer_stop` / `timer_read`).
+
+use std::time::Instant;
+
+/// A bank of independent accumulating stopwatches.
+///
+/// NPB codes time distinct phases (total, rhs, x-solve, ...) in numbered
+/// slots; we keep the same shape so profiling sections of the kernels read
+/// like the originals.
+#[derive(Debug, Clone)]
+pub struct Timers {
+    started: Vec<Option<Instant>>,
+    elapsed: Vec<f64>,
+}
+
+impl Timers {
+    /// Create `n` cleared timers.
+    pub fn new(n: usize) -> Self {
+        Timers { started: vec![None; n], elapsed: vec![0.0; n] }
+    }
+
+    /// Reset slot `i` to zero (and stop it if running).
+    pub fn clear(&mut self, i: usize) {
+        self.started[i] = None;
+        self.elapsed[i] = 0.0;
+    }
+
+    /// Start (or restart) accumulating on slot `i`.
+    pub fn start(&mut self, i: usize) {
+        self.started[i] = Some(Instant::now());
+    }
+
+    /// Stop slot `i`, adding the elapsed interval to its accumulator.
+    ///
+    /// Stopping a slot that is not running is a no-op, as in NPB.
+    pub fn stop(&mut self, i: usize) {
+        if let Some(t0) = self.started[i].take() {
+            self.elapsed[i] += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Accumulated seconds on slot `i` (not including a running interval).
+    pub fn read(&self, i: usize) -> f64 {
+        self.elapsed[i]
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.elapsed.len()
+    }
+
+    /// True if the bank has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.elapsed.is_empty()
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_start_stop_pairs() {
+        let mut t = Timers::new(2);
+        t.start(0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.stop(0);
+        let first = t.read(0);
+        assert!(first >= 0.004, "read {first}");
+        t.start(0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.stop(0);
+        assert!(t.read(0) > first);
+        assert_eq!(t.read(1), 0.0);
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut t = Timers::new(1);
+        t.stop(0);
+        assert_eq!(t.read(0), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Timers::new(1);
+        t.start(0);
+        t.stop(0);
+        t.clear(0);
+        assert_eq!(t.read(0), 0.0);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, s) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Verification outcomes and the NPB relative-error comparison.
+
+/// Outcome of a benchmark's built-in verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verified {
+    /// All computed quantities matched the reference within tolerance.
+    Success,
+    /// At least one quantity missed the reference.
+    Failure,
+    /// No reference values exist for this configuration.
+    NotPerformed,
+}
+
+impl Verified {
+    /// `true` only for [`Verified::Success`].
+    pub fn is_success(self) -> bool {
+        matches!(self, Verified::Success)
+    }
+
+    /// Combine two partial verdicts: any failure poisons the result,
+    /// `NotPerformed` is the identity.
+    pub fn and(self, other: Verified) -> Verified {
+        use Verified::*;
+        match (self, other) {
+            (Failure, _) | (_, Failure) => Failure,
+            (NotPerformed, x) | (x, NotPerformed) => x,
+            (Success, Success) => Success,
+        }
+    }
+}
+
+/// NPB's verification comparison: relative error of `computed` against
+/// `reference` within `epsilon` (NPB uses `1e-8` almost everywhere).
+///
+/// A zero reference falls back to absolute error, as the Fortran does.
+#[inline]
+pub fn rel_err_ok(computed: f64, reference: f64, epsilon: f64) -> bool {
+    let err = if reference != 0.0 {
+        ((computed - reference) / reference).abs()
+    } else {
+        computed.abs()
+    };
+    err <= epsilon && err.is_finite() && computed.is_finite()
+}
+
+/// Verify a vector of quantities against references; returns `Success`
+/// only if every component passes.
+pub fn verify_all(computed: &[f64], reference: &[f64], epsilon: f64) -> Verified {
+    assert_eq!(computed.len(), reference.len());
+    for (&c, &r) in computed.iter().zip(reference) {
+        if !rel_err_ok(c, r, epsilon) {
+            return Verified::Failure;
+        }
+    }
+    Verified::Success
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_passes() {
+        assert!(rel_err_ok(1.23456789, 1.23456789, 1e-8));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        assert!(rel_err_ok(1.0 + 0.5e-8, 1.0, 1e-8));
+        assert!(!rel_err_ok(1.0 + 2e-8, 1.0, 1e-8));
+    }
+
+    #[test]
+    fn zero_reference_uses_absolute() {
+        assert!(rel_err_ok(0.5e-9, 0.0, 1e-8));
+        assert!(!rel_err_ok(1e-7, 0.0, 1e-8));
+    }
+
+    #[test]
+    fn nan_and_inf_fail() {
+        assert!(!rel_err_ok(f64::NAN, 1.0, 1e-8));
+        assert!(!rel_err_ok(f64::INFINITY, 1.0, 1e-8));
+        assert!(!rel_err_ok(1.0, f64::NAN, 1e-8));
+    }
+
+    #[test]
+    fn vector_verification() {
+        let r = [1.0, 2.0, 3.0];
+        assert_eq!(verify_all(&[1.0, 2.0, 3.0], &r, 1e-8), Verified::Success);
+        assert_eq!(verify_all(&[1.0, 2.1, 3.0], &r, 1e-8), Verified::Failure);
+    }
+
+    #[test]
+    fn verdict_combination() {
+        use Verified::*;
+        assert_eq!(Success.and(Success), Success);
+        assert_eq!(Success.and(Failure), Failure);
+        assert_eq!(NotPerformed.and(Success), Success);
+        assert_eq!(NotPerformed.and(NotPerformed), NotPerformed);
+        assert_eq!(Failure.and(NotPerformed), Failure);
+    }
+}

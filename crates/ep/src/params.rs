@@ -1,0 +1,62 @@
+//! Per-class parameters and published reference sums for EP.
+
+use npb_core::Class;
+
+/// EP problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EpParams {
+    /// Log2 of the number of candidate pairs.
+    pub m: u32,
+}
+
+impl EpParams {
+    /// NPB 3.0 class table.
+    pub fn for_class(class: Class) -> EpParams {
+        let m = match class {
+            Class::S => 24,
+            Class::W => 25,
+            Class::A => 28,
+            Class::B => 30,
+            Class::C => 32,
+        };
+        EpParams { m }
+    }
+}
+
+/// Published verification sums.
+#[derive(Debug, Clone, Copy)]
+pub struct EpRefs {
+    /// Reference `Σ X`.
+    pub sx: f64,
+    /// Reference `Σ Y`.
+    pub sy: f64,
+}
+
+/// Reference sums from the NPB 3.0 `ep.f` `verify` block.
+pub fn refs(class: Class) -> Option<EpRefs> {
+    Some(match class {
+        Class::S => EpRefs { sx: -3.247_834_652_034_740e3, sy: -6.958_407_078_382_297e3 },
+        Class::W => EpRefs { sx: -2.863_319_731_645_753e3, sy: -6.320_053_679_109_499e3 },
+        Class::A => EpRefs { sx: -4.295_875_165_629_892e3, sy: -1.580_732_573_678_431e4 },
+        Class::B => EpRefs { sx: 4.033_815_542_441_498e4, sy: -2.660_669_192_809_235e4 },
+        Class::C => EpRefs { sx: 4.764_367_927_995_374e4, sy: -8.084_072_988_043_731e4 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes_are_monotone() {
+        let ms: Vec<u32> = Class::ALL.iter().map(|&c| EpParams::for_class(c).m).collect();
+        assert!(ms.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn all_classes_have_refs() {
+        for c in Class::ALL {
+            assert!(refs(c).is_some());
+        }
+    }
+}

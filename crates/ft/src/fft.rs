@@ -1,0 +1,272 @@
+//! The Swarztrauber/Stockham radix-2 complex FFT, ported from NPB's
+//! `fft_init` / `cfftz` / `fftz2`.
+//!
+//! The Stockham autosort variant needs no bit-reversal pass: each of the
+//! `log2 n` stages reads one buffer and writes the other in permuted
+//! order. The roots-of-unity table is laid out exactly as `fft_init`
+//! builds it (block of `2^(j-1)` roots per stage `j`, starting at index
+//! `2^(j-1) + 1` with slot 0 unused), so a table built for the largest
+//! dimension serves every smaller dimension too.
+
+use crate::complex::{c64, C64};
+use npb_core::{ld, st};
+
+/// Roots-of-unity table (NPB's `u` array).
+#[derive(Debug, Clone)]
+pub struct FftTable {
+    u: Vec<C64>,
+}
+
+impl FftTable {
+    /// Build the table for transforms of length up to `n` (power of two).
+    pub fn new(n: usize) -> FftTable {
+        assert!(n.is_power_of_two() && n >= 2, "FFT length {n} must be a power of two >= 2");
+        let m = n.trailing_zeros();
+        let mut u = vec![C64::ZERO; n + 1];
+        u[0] = c64(m as f64, 0.0);
+        let mut ku = 1usize; // 0-based index of u(2)
+        let mut ln = 1usize;
+        for _j in 1..=m {
+            let t = std::f64::consts::PI / ln as f64;
+            for i in 0..ln {
+                let ti = i as f64 * t;
+                u[ku + i] = c64(ti.cos(), ti.sin());
+            }
+            ku += ln;
+            ln *= 2;
+        }
+        FftTable { u }
+    }
+
+    /// Largest transform length this table supports.
+    pub fn max_len(&self) -> usize {
+        self.u.len() - 1
+    }
+}
+
+/// One Stockham stage (`fftz2`): stage `l` of `m`, reading `x` and
+/// writing `y`. `is >= 1` selects the forward transform, otherwise the
+/// inverse (conjugated twiddles).
+fn fftz2<const SAFE: bool>(
+    is: i32,
+    l: u32,
+    m: u32,
+    n: usize,
+    u: &[C64],
+    x: &[C64],
+    y: &mut [C64],
+) {
+    let n1 = n / 2;
+    let lk = 1usize << (l - 1);
+    let li = 1usize << (m - l);
+    let lj = 2 * lk;
+    let ku = li; // 0-based: Fortran ku = li + 1
+    for i in 0..li {
+        let i11 = i * lk;
+        let i12 = i11 + n1;
+        let i21 = i * lj;
+        let i22 = i21 + lk;
+        let u1 = if is >= 1 { ld::<_, SAFE>(u, ku + i) } else { ld::<_, SAFE>(u, ku + i).conj() };
+        for k in 0..lk {
+            let x11 = ld::<_, SAFE>(x, i11 + k);
+            let x21 = ld::<_, SAFE>(x, i12 + k);
+            st::<_, SAFE>(y, i21 + k, x11 + x21);
+            st::<_, SAFE>(y, i22 + k, u1 * (x11 - x21));
+        }
+    }
+}
+
+/// Full 1-D transform (`cfftz`) of length `n` on `x`, using `y` as the
+/// ping-pong buffer. The result ends in `x`.
+pub fn cfftz<const SAFE: bool>(is: i32, n: usize, table: &FftTable, x: &mut [C64], y: &mut [C64]) {
+    debug_assert!(n.is_power_of_two() && n <= table.max_len());
+    debug_assert!(x.len() >= n && y.len() >= n);
+    let m = n.trailing_zeros();
+    let u = &table.u;
+    let mut l = 1u32;
+    while l <= m {
+        fftz2::<SAFE>(is, l, m, n, u, x, y);
+        if l == m {
+            x[..n].copy_from_slice(&y[..n]);
+            return;
+        }
+        fftz2::<SAFE>(is, l + 1, m, n, u, y, x);
+        l += 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook O(n^2) DFT for cross-checking: X_k = sum_j x_j e^{+2πi jk/n}
+    /// (NPB's forward sign convention is e^{+i...}; fft_init stores
+    /// positive-sine roots).
+    fn dft(x: &[C64], sign: f64) -> Vec<C64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut s = C64::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    s = s + v * c64(ang.cos(), ang.sin());
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn sample(n: usize) -> Vec<C64> {
+        (0..n).map(|i| c64((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos())).collect()
+    }
+
+    #[test]
+    fn matches_reference_dft_all_sizes() {
+        for n in [2usize, 4, 8, 16, 64, 128] {
+            let table = FftTable::new(n);
+            let x0 = sample(n);
+            let mut x = x0.clone();
+            let mut y = vec![C64::ZERO; n];
+            cfftz::<true>(1, n, &table, &mut x, &mut y);
+            let want = dft(&x0, 1.0);
+            for k in 0..n {
+                assert!(
+                    (x[k].re - want[k].re).abs() < 1e-9 && (x[k].im - want[k].im).abs() < 1e-9,
+                    "n={n} k={k}: {:?} vs {:?}",
+                    x[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_forward_up_to_n() {
+        for n in [4usize, 32, 256] {
+            let table = FftTable::new(n);
+            let x0 = sample(n);
+            let mut x = x0.clone();
+            let mut y = vec![C64::ZERO; n];
+            cfftz::<false>(1, n, &table, &mut x, &mut y);
+            cfftz::<false>(-1, n, &table, &mut x, &mut y);
+            for k in 0..n {
+                let got = x[k].scale(1.0 / n as f64);
+                assert!(
+                    (got.re - x0[k].re).abs() < 1e-12 && (got.im - x0[k].im).abs() < 1e-12,
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let table = FftTable::new(n);
+        let x0 = sample(n);
+        let e0: f64 = x0.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        let mut x = x0;
+        let mut y = vec![C64::ZERO; n];
+        cfftz::<true>(1, n, &table, &mut x, &mut y);
+        let e1: f64 = x.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        assert!((e1 / (n as f64) - e0).abs() < 1e-9 * e0, "{e0} vs {}", e1 / n as f64);
+    }
+
+    #[test]
+    fn smaller_transform_reuses_large_table() {
+        // The per-stage table layout must make a table for 512 usable for
+        // a length-64 transform with identical results.
+        let big = FftTable::new(512);
+        let small = FftTable::new(64);
+        let x0 = sample(64);
+        let mut xa = x0.clone();
+        let mut xb = x0;
+        let mut y = vec![C64::ZERO; 64];
+        cfftz::<true>(1, 64, &big, &mut xa, &mut y);
+        cfftz::<true>(1, 64, &small, &mut xb, &mut y);
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let n = 16;
+        let table = FftTable::new(n);
+        let mut x = vec![C64::ZERO; n];
+        x[0] = c64(1.0, 0.0);
+        let mut y = vec![C64::ZERO; n];
+        cfftz::<true>(1, n, &table, &mut x, &mut y);
+        for k in 0..n {
+            assert!((x[k].re - 1.0).abs() < 1e-14 && x[k].im.abs() < 1e-14);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_signal(max_log: u32) -> impl Strategy<Value = Vec<C64>> {
+        (1u32..=max_log).prop_flat_map(|m| {
+            let n = 1usize << m;
+            proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
+                .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Inverse(Forward(x)) == n * x for random signals of random
+        /// power-of-two lengths.
+        #[test]
+        fn inverse_undoes_forward(x0 in arb_signal(9)) {
+            let n = x0.len();
+            let table = FftTable::new(n.max(2));
+            let mut x = x0.clone();
+            let mut y = vec![C64::ZERO; n];
+            cfftz::<true>(1, n, &table, &mut x, &mut y);
+            cfftz::<true>(-1, n, &table, &mut x, &mut y);
+            let scale = 1.0 / n as f64;
+            for k in 0..n {
+                let got = x[k].scale(scale);
+                prop_assert!((got.re - x0[k].re).abs() < 1e-10);
+                prop_assert!((got.im - x0[k].im).abs() < 1e-10);
+            }
+        }
+
+        /// Linearity: F(a x + y) == a F(x) + F(y).
+        #[test]
+        fn transform_is_linear(x0 in arb_signal(7), a in -2.0f64..2.0) {
+            let n = x0.len();
+            let table = FftTable::new(n.max(2));
+            let y0: Vec<C64> = (0..n).map(|i| c64((i as f64).cos(), 0.3)).collect();
+            let mut combo: Vec<C64> =
+                x0.iter().zip(&y0).map(|(&x, &y)| x.scale(a) + y).collect();
+            let mut scratch = vec![C64::ZERO; n];
+            cfftz::<true>(1, n, &table, &mut combo, &mut scratch);
+            let mut fx = x0.clone();
+            cfftz::<true>(1, n, &table, &mut fx, &mut scratch);
+            let mut fy = y0.clone();
+            cfftz::<true>(1, n, &table, &mut fy, &mut scratch);
+            for k in 0..n {
+                let want = fx[k].scale(a) + fy[k];
+                prop_assert!((combo[k].re - want.re).abs() < 1e-9);
+                prop_assert!((combo[k].im - want.im).abs() < 1e-9);
+            }
+        }
+
+        /// Parseval: energy is preserved up to the 1/n convention.
+        #[test]
+        fn parseval(x0 in arb_signal(8)) {
+            let n = x0.len();
+            let table = FftTable::new(n.max(2));
+            let e0: f64 = x0.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+            let mut x = x0;
+            let mut y = vec![C64::ZERO; n];
+            cfftz::<true>(1, n, &table, &mut x, &mut y);
+            let e1: f64 = x.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+            prop_assert!((e1 / n as f64 - e0).abs() <= 1e-9 * e0.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! # npb-ft — the NPB "3-D FFT" kernel
+//!
+//! Numerically solves the 3-D heat equation `∂u/∂t = α ∇²u` with
+//! periodic boundaries spectrally: forward 3-D FFT of the random initial
+//! state once, then per time step a multiplication by the accumulated
+//! exponential decay factors and an inverse 3-D FFT, checksummed at 1024
+//! fixed grid points per step against the published references.
+//!
+//! The paper's §5.2 highlights FT as the memory-pressure case: "the
+//! inability of the JVM to use more than 4 processors to run applications
+//! requiring significant amounts of memory (FT.A uses about 350 MB)".
+//! This port keeps the same three large complex arrays so the footprint
+//! matches.
+
+pub mod complex;
+pub mod fft;
+mod params;
+
+pub use complex::{c64, C64};
+pub use fft::{cfftz, FftTable};
+pub use params::{reference_checksums, FtParams};
+
+use npb_core::{ipow46, randlc, vranlc, BenchReport, Class, Style, Verified, A_DEFAULT,
+    SEED_DEFAULT};
+use npb_runtime::{run_par, SharedMut, Team};
+
+const ALPHA: f64 = 1.0e-6;
+
+/// FT benchmark state.
+pub struct FtState {
+    p: FtParams,
+    /// Spectral field, accumulating the decay factors.
+    u0: Vec<C64>,
+    /// Working field (initial conditions / inverse-transform output).
+    u1: Vec<C64>,
+    /// Per-mode decay factor for one time step.
+    twiddle: Vec<f64>,
+    table: FftTable,
+}
+
+/// Outcome of a full FT run.
+#[derive(Debug, Clone)]
+pub struct FtOutcome {
+    /// Checksum per iteration.
+    pub sums: Vec<C64>,
+    /// Seconds in the timed section.
+    pub secs: f64,
+}
+
+impl FtState {
+    /// Allocate buffers for `class`.
+    pub fn new(class: Class) -> FtState {
+        let p = FtParams::for_class(class);
+        let nt = p.ntotal();
+        let maxdim = p.nx.max(p.ny).max(p.nz);
+        FtState {
+            p,
+            u0: vec![C64::ZERO; nt],
+            u1: vec![C64::ZERO; nt],
+            twiddle: vec![0.0; nt],
+            table: FftTable::new(maxdim),
+        }
+    }
+
+    /// Problem parameters.
+    pub fn params(&self) -> &FtParams {
+        &self.p
+    }
+
+    /// `compute_indexmap`: per-mode decay factor
+    /// `exp(-4 α π² (kx²+ky²+kz²))` with wavenumbers folded to the
+    /// centered range.
+    fn compute_indexmap(&mut self, team: Option<&Team>) {
+        let (nx, ny, nz) = (self.p.nx, self.p.ny, self.p.nz);
+        let ap = -4.0 * ALPHA * std::f64::consts::PI * std::f64::consts::PI;
+        let tw = unsafe { SharedMut::new(&mut self.twiddle) };
+        run_par(team, |par| {
+            for k in par.range(nz) {
+                let kk = ((k + nz / 2) % nz) as i64 - (nz / 2) as i64;
+                let kk2 = kk * kk;
+                for j in 0..ny {
+                    let jj = ((j + ny / 2) % ny) as i64 - (ny / 2) as i64;
+                    let kj2 = jj * jj + kk2;
+                    for i in 0..nx {
+                        let ii = ((i + nx / 2) % nx) as i64 - (nx / 2) as i64;
+                        tw.set::<false>(
+                            i + nx * (j + ny * k),
+                            (ap * (ii * ii + kj2) as f64).exp(),
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    /// `compute_initial_conditions`: fill `u1` with the NPB random
+    /// stream, one z-plane at a time (each plane's sub-stream starts at a
+    /// jumped seed, so planes can be filled concurrently).
+    fn compute_initial_conditions(&mut self, team: Option<&Team>) {
+        let (nx, ny, nz) = (self.p.nx, self.p.ny, self.p.nz);
+        let an = ipow46(A_DEFAULT, 2 * (nx * ny) as u64);
+        // Per-plane starting seeds.
+        let mut starts = vec![0.0f64; nz];
+        let mut seed = SEED_DEFAULT;
+        for s in starts.iter_mut() {
+            *s = seed;
+            randlc(&mut seed, an);
+        }
+        let plane = 2 * nx * ny;
+        let starts = &starts;
+        let chunks: Vec<&mut [C64]> = self.u1.chunks_mut(nx * ny).collect();
+        // chunks_mut gives disjoint &mut plane slices; move them into the
+        // region via SharedMut over the vector of slices is overkill —
+        // instead parallelize with the team over plane indices using raw
+        // disjoint access.
+        drop(chunks);
+        let u1 = unsafe { SharedMut::new(complex::as_f64_mut(&mut self.u1)) };
+        run_par(team, |par| {
+            let mut buf = vec![0.0f64; plane];
+            for k in par.range(nz) {
+                let mut x0 = starts[k];
+                vranlc(&mut x0, A_DEFAULT, &mut buf);
+                let base = k * plane;
+                for (off, &v) in buf.iter().enumerate() {
+                    u1.set::<false>(base + off, v);
+                }
+            }
+        });
+    }
+
+    /// `evolve`: `u0 *= twiddle`, `u1 = u0`.
+    fn evolve(&mut self, team: Option<&Team>) {
+        let n = self.u0.len();
+        let u0 = unsafe { SharedMut::new(&mut self.u0) };
+        let u1 = unsafe { SharedMut::new(&mut self.u1) };
+        let tw: &[f64] = &self.twiddle;
+        run_par(team, |par| {
+            for i in par.range(n) {
+                let v = u0.get::<false>(i).scale(npb_core::ld::<_, false>(tw, i));
+                u0.set::<false>(i, v);
+                u1.set::<false>(i, v);
+            }
+        });
+    }
+
+    /// Checksum at 1024 deterministic points, scaled by 1/ntotal.
+    fn checksum(&self) -> C64 {
+        let (nx, ny, nz) = (self.p.nx, self.p.ny, self.p.nz);
+        let mut chk = C64::ZERO;
+        for j in 1..=1024usize {
+            let q = j % nx;
+            let r = (3 * j) % ny;
+            let s = (5 * j) % nz;
+            chk = chk + self.u1[q + nx * (r + ny * s)];
+        }
+        chk.scale(1.0 / self.p.ntotal() as f64)
+    }
+
+    /// Full benchmark: one untimed warm-up pass, then the timed section
+    /// (index map, initial conditions, forward FFT, `niter` evolve /
+    /// inverse-FFT / checksum steps), as `ft.f` structures it.
+    pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> FtOutcome {
+        // Untimed warm-up: touch every page once.
+        self.compute_indexmap(team);
+        self.compute_initial_conditions(team);
+        fft3d::<SAFE>(1, &self.p, &self.table, &mut self.u1, &mut self.u0, team);
+
+        let t0 = std::time::Instant::now();
+        self.compute_indexmap(team);
+        self.compute_initial_conditions(team);
+        fft3d::<SAFE>(1, &self.p, &self.table, &mut self.u1, &mut self.u0, team);
+        let mut sums = Vec::with_capacity(self.p.niter);
+        for _iter in 1..=self.p.niter {
+            self.evolve(team);
+            fft3d_inplace::<SAFE>(-1, &self.p, &self.table, &mut self.u1, team);
+            sums.push(self.checksum());
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        FtOutcome { sums, secs }
+    }
+}
+
+/// 3-D FFT: transform along dim 1, dim 2, dim 3 (forward) or dim 3, 2, 1
+/// (inverse), reading `x` and leaving the result in `out` (the first two
+/// passes are in-place on `x`, as in `ft.f`).
+pub fn fft3d<const SAFE: bool>(
+    is: i32,
+    p: &FtParams,
+    table: &FftTable,
+    x: &mut [C64],
+    out: &mut [C64],
+    team: Option<&Team>,
+) {
+    let sx = unsafe { SharedMut::new(x) };
+    let so = unsafe { SharedMut::new(out) };
+    if is == 1 {
+        cffts1::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts3::<SAFE>(is, p, table, &sx, &so, team);
+    } else {
+        cffts3::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts1::<SAFE>(is, p, table, &sx, &so, team);
+    }
+}
+
+/// 3-D FFT with the result left in `x` itself.
+pub fn fft3d_inplace<const SAFE: bool>(
+    is: i32,
+    p: &FtParams,
+    table: &FftTable,
+    x: &mut [C64],
+    team: Option<&Team>,
+) {
+    let sx = unsafe { SharedMut::new(x) };
+    if is == 1 {
+        cffts1::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts3::<SAFE>(is, p, table, &sx, &sx, team);
+    } else {
+        cffts3::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts1::<SAFE>(is, p, table, &sx, &sx, team);
+    }
+}
+
+/// Transforms along dimension 1 (contiguous lines), parallel over planes.
+fn cffts1<const SAFE: bool>(
+    is: i32,
+    p: &FtParams,
+    table: &FftTable,
+    x: &SharedMut<C64>,
+    out: &SharedMut<C64>,
+    team: Option<&Team>,
+) {
+    let (d1, d2, d3) = (p.nx, p.ny, p.nz);
+    run_par(team, |par| {
+        let mut tx = vec![C64::ZERO; d1];
+        let mut ty = vec![C64::ZERO; d1];
+        for k in par.range(d3) {
+            for j in 0..d2 {
+                let base = d1 * (j + d2 * k);
+                for i in 0..d1 {
+                    tx[i] = x.get::<SAFE>(base + i);
+                }
+                cfftz::<SAFE>(is, d1, table, &mut tx, &mut ty);
+                for i in 0..d1 {
+                    out.set::<SAFE>(base + i, tx[i]);
+                }
+            }
+        }
+    });
+}
+
+/// Transforms along dimension 2 (stride `d1`), parallel over planes.
+fn cffts2<const SAFE: bool>(
+    is: i32,
+    p: &FtParams,
+    table: &FftTable,
+    x: &SharedMut<C64>,
+    out: &SharedMut<C64>,
+    team: Option<&Team>,
+) {
+    let (d1, d2, d3) = (p.nx, p.ny, p.nz);
+    run_par(team, |par| {
+        let mut tx = vec![C64::ZERO; d2];
+        let mut ty = vec![C64::ZERO; d2];
+        for k in par.range(d3) {
+            for i in 0..d1 {
+                let base = i + d1 * d2 * k;
+                for j in 0..d2 {
+                    tx[j] = x.get::<SAFE>(base + d1 * j);
+                }
+                cfftz::<SAFE>(is, d2, table, &mut tx, &mut ty);
+                for j in 0..d2 {
+                    out.set::<SAFE>(base + d1 * j, tx[j]);
+                }
+            }
+        }
+    });
+}
+
+/// Transforms along dimension 3 (stride `d1*d2`), parallel over rows.
+fn cffts3<const SAFE: bool>(
+    is: i32,
+    p: &FtParams,
+    table: &FftTable,
+    x: &SharedMut<C64>,
+    out: &SharedMut<C64>,
+    team: Option<&Team>,
+) {
+    let (d1, d2, d3) = (p.nx, p.ny, p.nz);
+    run_par(team, |par| {
+        let mut tx = vec![C64::ZERO; d3];
+        let mut ty = vec![C64::ZERO; d3];
+        for j in par.range(d2) {
+            for i in 0..d1 {
+                let base = i + d1 * j;
+                for k in 0..d3 {
+                    tx[k] = x.get::<SAFE>(base + d1 * d2 * k);
+                }
+                cfftz::<SAFE>(is, d3, table, &mut tx, &mut ty);
+                for k in 0..d3 {
+                    out.set::<SAFE>(base + d1 * d2 * k, tx[k]);
+                }
+            }
+        }
+    });
+}
+
+/// Verify a checksum sequence against the published references
+/// (tolerance 1e-12, as in `ft.f`).
+pub fn verify(class: Class, sums: &[C64]) -> Verified {
+    match reference_checksums(class) {
+        None => Verified::NotPerformed,
+        Some(refs) => {
+            if sums.len() != refs.len() {
+                return Verified::Failure;
+            }
+            for (s, r) in sums.iter().zip(&refs) {
+                if !npb_core::rel_err_ok(s.re, r.re, 1.0e-12)
+                    || !npb_core::rel_err_ok(s.im, r.im, 1.0e-12)
+                {
+                    return Verified::Failure;
+                }
+            }
+            Verified::Success
+        }
+    }
+}
+
+/// Run the FT benchmark and produce the standard report.
+pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    let mut st = FtState::new(class);
+    let out = match style {
+        Style::Opt => st.run::<false>(team),
+        Style::Safe => st.run::<true>(team),
+    };
+    let p = *st.params();
+    BenchReport {
+        name: "FT",
+        class,
+        size: (p.nx, p.ny, p.nz),
+        niter: p.niter,
+        time_secs: out.secs,
+        mops: p.flops(out.secs),
+        threads: team.map_or(0, Team::size),
+        style,
+        verified: verify(class, &out.sums),
+    }
+}
+
+/// Run and return the raw checksums (tests / harness).
+pub fn run_raw(class: Class, style: Style, team: Option<&Team>) -> FtOutcome {
+    let mut st = FtState::new(class);
+    match style {
+        Style::Opt => st.run::<false>(team),
+        Style::Safe => st.run::<true>(team),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_checksums_match_published_references() {
+        let out = run_raw(Class::S, Style::Opt, None);
+        assert_eq!(
+            verify(Class::S, &out.sums),
+            Verified::Success,
+            "sums = {:?}",
+            out.sums
+        );
+    }
+
+    #[test]
+    fn safe_style_also_verifies() {
+        let out = run_raw(Class::S, Style::Safe, None);
+        assert_eq!(verify(Class::S, &out.sums), Verified::Success);
+    }
+
+    #[test]
+    fn parallel_checksums_match_serial_bitwise() {
+        // No cross-thread reductions anywhere (the checksum is serial),
+        // so any team size reproduces the serial bits exactly.
+        let serial = run_raw(Class::S, Style::Opt, None);
+        for n in [2usize, 4] {
+            let team = Team::new(n);
+            let par = run_raw(Class::S, Style::Opt, Some(&team));
+            assert_eq!(par.sums, serial.sums, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity_times_n() {
+        let p = FtParams { nx: 16, ny: 8, nz: 4, niter: 1 };
+        let table = FftTable::new(16);
+        let n = p.ntotal();
+        let x0: Vec<C64> =
+            (0..n).map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let mut x = x0.clone();
+        fft3d_inplace::<true>(1, &p, &table, &mut x, None);
+        fft3d_inplace::<true>(-1, &p, &table, &mut x, None);
+        let scale = 1.0 / n as f64;
+        for i in 0..n {
+            let got = x[i].scale(scale);
+            assert!(
+                (got.re - x0[i].re).abs() < 1e-12 && (got.im - x0[i].im).abs() < 1e-12,
+                "i = {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_rejects_perturbed_checksums() {
+        let mut sums = reference_checksums(Class::S).unwrap();
+        sums[3].re *= 1.0 + 1e-9;
+        assert_eq!(verify(Class::S, &sums), Verified::Failure);
+    }
+
+    #[test]
+    fn initial_conditions_are_deterministic_and_uniform() {
+        let mut a = FtState::new(Class::S);
+        let mut b = FtState::new(Class::S);
+        a.compute_initial_conditions(None);
+        b.compute_initial_conditions(None);
+        assert_eq!(a.u1, b.u1);
+        let mean: f64 = a.u1.iter().map(|c| c.re + c.im).sum::<f64>() / (2 * a.u1.len()) as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-class parameters and published checksum references for FT.
+
+use crate::complex::{c64, C64};
+use npb_core::Class;
+
+/// FT problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FtParams {
+    /// Grid extents.
+    pub nx: usize,
+    /// Second dimension.
+    pub ny: usize,
+    /// Third dimension.
+    pub nz: usize,
+    /// Time steps (checksum iterations).
+    pub niter: usize,
+}
+
+impl FtParams {
+    /// NPB 3.0 class table.
+    pub fn for_class(class: Class) -> FtParams {
+        match class {
+            Class::S => FtParams { nx: 64, ny: 64, nz: 64, niter: 6 },
+            Class::W => FtParams { nx: 128, ny: 128, nz: 32, niter: 6 },
+            Class::A => FtParams { nx: 256, ny: 256, nz: 128, niter: 6 },
+            Class::B => FtParams { nx: 512, ny: 256, nz: 256, niter: 20 },
+            Class::C => FtParams { nx: 512, ny: 512, nz: 512, niter: 20 },
+        }
+    }
+
+    /// Total grid points.
+    pub fn ntotal(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// NPB's operation-count model for FT's Mop/s.
+    pub fn flops(&self, secs: f64) -> f64 {
+        let ntf = self.ntotal() as f64;
+        ntf * 1.0e-6 / secs.max(1e-12)
+            * (14.8157 + 7.19641 * ntf.ln() + (5.23518 + 7.21113 * ntf.ln()) * self.niter as f64)
+    }
+}
+
+/// Published per-iteration checksums (`ft.f` verify), classes S, W, A.
+/// B and C run 20 iterations whose reference lists are not embedded;
+/// verification for them is reported as "not performed".
+pub fn reference_checksums(class: Class) -> Option<Vec<C64>> {
+    let v: &[(f64, f64)] = match class {
+        Class::S => &[
+            (5.546087004964e+02, 4.845363331978e+02),
+            (5.546385409189e+02, 4.865304269511e+02),
+            (5.546148406171e+02, 4.883910722336e+02),
+            (5.545423607415e+02, 4.901273169046e+02),
+            (5.544255039624e+02, 4.917475857993e+02),
+            (5.542683411902e+02, 4.932597244941e+02),
+        ],
+        Class::W => &[
+            (5.673612178944e+02, 5.293246849175e+02),
+            (5.631436885271e+02, 5.282149986629e+02),
+            (5.594024089970e+02, 5.270996558037e+02),
+            (5.560698047020e+02, 5.260027904925e+02),
+            (5.530898991250e+02, 5.249400845633e+02),
+            (5.504159734538e+02, 5.239212247086e+02),
+        ],
+        Class::A => &[
+            (5.046735008193e+02, 5.114047905510e+02),
+            (5.059412319734e+02, 5.098809666433e+02),
+            (5.069376896287e+02, 5.098144042213e+02),
+            (5.077892868474e+02, 5.101336130759e+02),
+            (5.085233095391e+02, 5.104914655194e+02),
+            (5.091487099959e+02, 5.107917842803e+02),
+        ],
+        Class::B | Class::C => return None,
+    };
+    Some(v.iter().map(|&(re, im)| c64(re, im)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_are_powers_of_two() {
+        for c in Class::ALL {
+            let p = FtParams::for_class(c);
+            assert!(p.nx.is_power_of_two() && p.ny.is_power_of_two() && p.nz.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn references_cover_niter() {
+        for c in [Class::S, Class::W, Class::A] {
+            let p = FtParams::for_class(c);
+            assert_eq!(reference_checksums(c).unwrap().len(), p.niter);
+        }
+    }
+}

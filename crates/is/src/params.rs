@@ -1,0 +1,123 @@
+//! Per-class parameters and partial-verification reference arrays for IS.
+
+use npb_core::Class;
+
+/// Number of spot-checked keys per ranking iteration.
+pub const TEST_ARRAY_SIZE: usize = 5;
+/// Ranking iterations in the timed section.
+pub const MAX_ITERATIONS: usize = 10;
+
+/// IS problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IsParams {
+    /// Number of keys (`2^total_keys_log2`).
+    pub num_keys: usize,
+    /// Key range (`0..max_key`).
+    pub max_key: usize,
+    /// Spot-check positions in the key array.
+    pub test_index: [usize; TEST_ARRAY_SIZE],
+    /// Published reference ranks at those positions (iteration-adjusted
+    /// during partial verification).
+    pub test_rank: [usize; TEST_ARRAY_SIZE],
+}
+
+impl IsParams {
+    /// NPB 3.0 class table (`npbparams.h` for IS).
+    pub fn for_class(class: Class) -> IsParams {
+        match class {
+            Class::S => IsParams {
+                num_keys: 1 << 16,
+                max_key: 1 << 11,
+                test_index: [48427, 17148, 23627, 62548, 4431],
+                test_rank: [0, 18, 346, 64917, 65463],
+            },
+            Class::W => IsParams {
+                num_keys: 1 << 20,
+                max_key: 1 << 16,
+                test_index: [357773, 934767, 875723, 898999, 404505],
+                test_rank: [1249, 11698, 1039987, 1043896, 1048018],
+            },
+            Class::A => IsParams {
+                num_keys: 1 << 23,
+                max_key: 1 << 19,
+                test_index: [2112377, 662041, 5336171, 3642833, 4250760],
+                test_rank: [104, 17523, 123928, 8288932, 8388264],
+            },
+            Class::B => IsParams {
+                num_keys: 1 << 25,
+                max_key: 1 << 21,
+                test_index: [41869, 812306, 5102857, 18232239, 26860214],
+                test_rank: [33422937, 10244, 59149, 33135281, 99],
+            },
+            Class::C => IsParams {
+                num_keys: 1 << 27,
+                max_key: 1 << 23,
+                test_index: [44172927, 72999161, 74326391, 129606274, 21736814],
+                test_rank: [61147, 882988, 266290, 133997595, 133525895],
+            },
+        }
+    }
+
+    /// The iteration adjustment applied to `test_rank[i]` at ranking
+    /// iteration `iteration`, from the class-specific `partial_verify`
+    /// switch in `is.c`. Returns the expected rank as i64 (can be
+    /// negative transiently for small classes, in which case the check is
+    /// skipped as in the original).
+    pub fn expected_rank(&self, class: Class, i: usize, iteration: usize) -> i64 {
+        let base = self.test_rank[i] as i64;
+        let it = iteration as i64;
+        match class {
+            Class::S => {
+                if i <= 2 {
+                    base + it
+                } else {
+                    base - it
+                }
+            }
+            Class::W => {
+                if i < 2 {
+                    base + it - 2
+                } else {
+                    base - it
+                }
+            }
+            Class::A => {
+                if i <= 2 {
+                    base + it - 1
+                } else {
+                    base - (it - 1)
+                }
+            }
+            Class::B => {
+                if i == 1 || i == 2 || i == 4 {
+                    base + it
+                } else {
+                    base - it
+                }
+            }
+            Class::C => {
+                if i <= 2 {
+                    base + it
+                } else {
+                    base - it
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_range_is_smaller_than_key_count() {
+        for c in Class::ALL {
+            let p = IsParams::for_class(c);
+            assert!(p.max_key < p.num_keys);
+            for &ti in &p.test_index {
+                assert!(ti < p.num_keys);
+            }
+        }
+    }
+}

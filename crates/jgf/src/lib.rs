@@ -1,0 +1,370 @@
+//! # npb-jgf — the Java Grande `lufact` analysis (Table 7)
+//!
+//! The paper's results contrast sharply with the Java Grande Forum's
+//! report that Java is within 2× of Fortran. §5.1 resolves the gap by
+//! dissecting the Java Grande `lufact` benchmark: it is the LINPACK
+//! BLAS-1 LU factorization (`dgefa`/`dgesl`, daxpy-based with poor cache
+//! reuse), so "the computations always wait for data (cache misses),
+//! which obscures the performance comparison between Java and Fortran."
+//! A cache-blocked LU (the `DGETRF` column of Table 7) separates the
+//! platforms again.
+//!
+//! This crate provides both: [`dgefa`]/[`dgesl`] as a faithful port of
+//! the `lufact` algorithm, and [`getrf_blocked`] as the cache-friendly
+//! comparator, each in the checked ("Java") and unchecked ("Fortran")
+//! styles.
+
+use npb_core::{ld, st, Randlc, Style};
+
+/// Column-major dense matrix, as LINPACK stores it.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Order.
+    pub n: usize,
+    /// Column-major data, `n * n`.
+    pub a: Vec<f64>,
+}
+
+impl Matrix {
+    /// Element accessor (row `i`, column `j`).
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i + self.n * j]
+    }
+
+    /// Deterministic pseudo-random test matrix from the NPB generator
+    /// (the Java Grande `matgen` uses its own LCG; any full-rank random
+    /// matrix with the same density exercises the identical data paths).
+    pub fn random(n: usize, seed: f64) -> Matrix {
+        let mut rng = Randlc::new(seed);
+        let mut a = vec![0.0f64; n * n];
+        rng.fill(&mut a);
+        for v in a.iter_mut() {
+            *v -= 0.5;
+        }
+        Matrix { n, a }
+    }
+
+    /// `b = A * ones`: the right-hand side Java Grande solves against.
+    pub fn row_sums(&self) -> Vec<f64> {
+        let mut b = vec![0.0; self.n];
+        for j in 0..self.n {
+            for i in 0..self.n {
+                b[i] += self.at(i, j);
+            }
+        }
+        b
+    }
+}
+
+/// `idamax`: index of the element of maximum absolute value in
+/// `a[base..base+len]` with stride 1.
+fn idamax<const SAFE: bool>(a: &[f64], base: usize, len: usize) -> usize {
+    let mut imax = 0usize;
+    let mut vmax = ld::<_, SAFE>(a, base).abs();
+    for k in 1..len {
+        let v = ld::<_, SAFE>(a, base + k).abs();
+        if v > vmax {
+            vmax = v;
+            imax = k;
+        }
+    }
+    imax
+}
+
+/// `daxpy`: `y[..] += alpha * x[..]` over column segments of the flat
+/// array — the BLAS-1 inner loop `lufact` spends all its time in.
+#[inline]
+fn daxpy<const SAFE: bool>(a: &mut [f64], xbase: usize, ybase: usize, len: usize, alpha: f64) {
+    for k in 0..len {
+        let v = ld::<_, SAFE>(a, ybase + k) + alpha * ld::<_, SAFE>(a, xbase + k);
+        st::<_, SAFE>(a, ybase + k, v);
+    }
+}
+
+/// `dgefa`: LINPACK LU factorization with partial pivoting, BLAS-1
+/// (daxpy) update structure — the `lufact` algorithm. Returns the pivot
+/// vector; `m.a` holds `L` (below, with multipliers negated as LINPACK
+/// does) and `U` (above).
+pub fn dgefa<const SAFE: bool>(m: &mut Matrix) -> Vec<usize> {
+    let n = m.n;
+    let a = &mut m.a;
+    let mut ipvt = vec![0usize; n];
+    for k in 0..n.saturating_sub(1) {
+        let col = n * k;
+        let l = k + idamax::<SAFE>(a, col + k, n - k);
+        ipvt[k] = l;
+        if ld::<_, SAFE>(a, col + l) != 0.0 {
+            if l != k {
+                a.swap(col + l, col + k);
+            }
+            let t = -1.0 / ld::<_, SAFE>(a, col + k);
+            // dscal on the multipliers.
+            for r in k + 1..n {
+                let v = ld::<_, SAFE>(a, col + r) * t;
+                st::<_, SAFE>(a, col + r, v);
+            }
+            // Rank-1 update, one daxpy per trailing column.
+            for j in k + 1..n {
+                let cj = n * j;
+                let t = ld::<_, SAFE>(a, cj + l);
+                if l != k {
+                    a.swap(cj + l, cj + k);
+                }
+                daxpy::<SAFE>(a, col + k + 1, cj + k + 1, n - k - 1, t);
+            }
+        }
+    }
+    if n > 0 {
+        ipvt[n - 1] = n - 1;
+    }
+    ipvt
+}
+
+/// `dgesl`: solve `A x = b` from the `dgefa` factorization (job 0).
+pub fn dgesl<const SAFE: bool>(m: &Matrix, ipvt: &[usize], b: &mut [f64]) {
+    let n = m.n;
+    let a = &m.a;
+    // Forward: apply L (with the stored negated multipliers).
+    for k in 0..n.saturating_sub(1) {
+        let l = ipvt[k];
+        let t = b[l];
+        if l != k {
+            b[l] = b[k];
+            b[k] = t;
+        }
+        let col = n * k;
+        for r in k + 1..n {
+            b[r] += t * ld::<_, SAFE>(a, col + r);
+        }
+    }
+    // Back: solve U x = y.
+    for k in (0..n).rev() {
+        let col = n * k;
+        b[k] /= ld::<_, SAFE>(a, col + k);
+        let t = -b[k];
+        for r in 0..k {
+            b[r] += t * ld::<_, SAFE>(a, col + r);
+        }
+    }
+}
+
+/// Blocked right-looking LU with partial pivoting — the "DGETRF has good
+/// cache reuse since it is based on MMULT" comparator of Table 7. Block
+/// size `nb`; the trailing update is a cache-friendly blocked GEMM.
+pub fn getrf_blocked<const SAFE: bool>(m: &mut Matrix, nb: usize) -> Vec<usize> {
+    let n = m.n;
+    let mut ipvt: Vec<usize> = (0..n).collect();
+    let mut kb = 0usize;
+    while kb < n {
+        let bend = (kb + nb).min(n);
+        // Panel factorization (unblocked on columns kb..bend).
+        for k in kb..bend {
+            let col = n * k;
+            let l = k + idamax::<SAFE>(&m.a, col + k, n - k);
+            ipvt[k] = l;
+            if m.a[col + l] != 0.0 {
+                if l != k {
+                    // Swap full rows (LAPACK-style), keeping the
+                    // factorization consistent across the blocked update.
+                    for j in 0..n {
+                        m.a.swap(n * j + l, n * j + k);
+                    }
+                }
+                let piv = 1.0 / ld::<_, SAFE>(&m.a, col + k);
+                for r in k + 1..n {
+                    let v = ld::<_, SAFE>(&m.a, col + r) * piv;
+                    st::<_, SAFE>(&mut m.a, col + r, v);
+                }
+                // Update the rest of the panel only.
+                for j in k + 1..bend {
+                    let cj = n * j;
+                    let t = ld::<_, SAFE>(&m.a, cj + k);
+                    for r in k + 1..n {
+                        let v = ld::<_, SAFE>(&m.a, cj + r)
+                            - t * ld::<_, SAFE>(&m.a, col + r);
+                        st::<_, SAFE>(&mut m.a, cj + r, v);
+                    }
+                }
+            }
+        }
+        // Triangular solve for U12: L11 \ A12.
+        for j in bend..n {
+            let cj = n * j;
+            for k in kb..bend {
+                let t = ld::<_, SAFE>(&m.a, cj + k);
+                let col = n * k;
+                for r in k + 1..bend {
+                    let v = ld::<_, SAFE>(&m.a, cj + r) - t * ld::<_, SAFE>(&m.a, col + r);
+                    st::<_, SAFE>(&mut m.a, cj + r, v);
+                }
+            }
+        }
+        // Trailing GEMM update: A22 -= L21 * U12, blocked over columns.
+        for j in bend..n {
+            let cj = n * j;
+            for k in kb..bend {
+                let t = ld::<_, SAFE>(&m.a, cj + k);
+                if t != 0.0 {
+                    let col = n * k;
+                    for r in bend..n {
+                        let v = ld::<_, SAFE>(&m.a, cj + r) - t * ld::<_, SAFE>(&m.a, col + r);
+                        st::<_, SAFE>(&mut m.a, cj + r, v);
+                    }
+                }
+            }
+        }
+        kb = bend;
+    }
+    ipvt
+}
+
+/// Solve from a [`getrf_blocked`] factorization (LAPACK pivot
+/// convention: full-row swaps were already applied during
+/// factorization, and the multipliers are stored positively).
+pub fn getrs<const SAFE: bool>(m: &Matrix, ipvt: &[usize], b: &mut [f64]) {
+    let n = m.n;
+    // Apply row interchanges.
+    for k in 0..n {
+        let l = ipvt[k];
+        if l != k {
+            b.swap(k, l);
+        }
+    }
+    // L y = P b (unit lower).
+    for k in 0..n {
+        let t = b[k];
+        let col = n * k;
+        for r in k + 1..n {
+            b[r] -= t * ld::<_, SAFE>(&m.a, col + r);
+        }
+    }
+    // U x = y.
+    for k in (0..n).rev() {
+        let col = n * k;
+        b[k] /= ld::<_, SAFE>(&m.a, col + k);
+        let t = b[k];
+        for r in 0..k {
+            b[r] -= t * ld::<_, SAFE>(&m.a, col + r);
+        }
+    }
+}
+
+/// Outcome of one Table 7 cell.
+#[derive(Debug, Clone, Copy)]
+pub struct LuBenchResult {
+    /// Seconds for the factorization (the timed section of `lufact`).
+    pub secs: f64,
+    /// Mflop/s by the LINPACK operation count `(2/3 n³ + 2 n²)`.
+    pub mflops: f64,
+    /// Max |x - 1| of the solved system (validation).
+    pub max_err: f64,
+}
+
+/// Flop count LINPACK credits an order-`n` solve with.
+pub fn linpack_flops(n: usize) -> f64 {
+    let nf = n as f64;
+    2.0 * nf * nf * nf / 3.0 + 2.0 * nf * nf
+}
+
+/// Run one `lufact`-style measurement: generate, factor (timed), solve,
+/// validate against the exact solution x = 1.
+pub fn run_lufact(n: usize, style: Style, blocked: Option<usize>) -> LuBenchResult {
+    let mut m = Matrix::random(n, npb_core::SEED_DEFAULT);
+    let mut b = m.row_sums();
+    let a0 = m.clone();
+    let t0 = std::time::Instant::now();
+    let ipvt = match (style, blocked) {
+        (Style::Opt, None) => dgefa::<false>(&mut m),
+        (Style::Safe, None) => dgefa::<true>(&mut m),
+        (Style::Opt, Some(nb)) => getrf_blocked::<false>(&mut m, nb),
+        (Style::Safe, Some(nb)) => getrf_blocked::<true>(&mut m, nb),
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    match blocked {
+        None => dgesl::<false>(&m, &ipvt, &mut b),
+        Some(_) => getrs::<false>(&m, &ipvt, &mut b),
+    }
+    let max_err = b.iter().map(|&x| (x - 1.0).abs()).fold(0.0, f64::max);
+    drop(a0);
+    LuBenchResult { secs, mflops: linpack_flops(n) * 1.0e-6 / secs.max(1e-12), max_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_tol(n: usize) -> f64 {
+        1e-10 * n as f64
+    }
+
+    #[test]
+    fn dgefa_dgesl_solves_random_system() {
+        for n in [1usize, 2, 5, 50, 120] {
+            let mut m = Matrix::random(n, 314159265.0);
+            let mut b = m.row_sums();
+            let ipvt = dgefa::<true>(&mut m);
+            dgesl::<true>(&m, &ipvt, &mut b);
+            for (i, &x) in b.iter().enumerate() {
+                assert!((x - 1.0).abs() < residual_tol(n), "n={n} x[{i}]={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_lu_solves_the_same_systems() {
+        for n in [1usize, 3, 17, 64, 130] {
+            for nb in [1usize, 4, 32, 200] {
+                let mut m = Matrix::random(n, 271828183.0);
+                let mut b = m.row_sums();
+                let ipvt = getrf_blocked::<true>(&mut m, nb);
+                getrs::<true>(&m, &ipvt, &mut b);
+                for (i, &x) in b.iter().enumerate() {
+                    assert!((x - 1.0).abs() < residual_tol(n), "n={n} nb={nb} x[{i}]={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_with_nb_ge_n_matches_unblocked_pivots() {
+        // With one block covering the whole matrix, the pivot sequence
+        // is identical to dgefa's.
+        let n = 40;
+        let mut m1 = Matrix::random(n, 1.0e6 + 7.0);
+        let mut m2 = m1.clone();
+        let p1 = dgefa::<true>(&mut m1);
+        let p2 = getrf_blocked::<true>(&mut m2, n);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn styles_agree_bitwise() {
+        let n = 60;
+        let mut m1 = Matrix::random(n, 42.0);
+        let mut m2 = m1.clone();
+        dgefa::<false>(&mut m1);
+        dgefa::<true>(&mut m2);
+        assert_eq!(m1.a, m2.a);
+    }
+
+    #[test]
+    fn singular_column_is_tolerated() {
+        // A zero pivot column: dgefa skips the elimination like LINPACK.
+        let n = 3;
+        let mut m = Matrix { n, a: vec![0.0; 9] };
+        m.a[0 + 0] = 0.0; // entire first column zero
+        m.a[3 + 1] = 2.0;
+        m.a[6 + 2] = 3.0;
+        let _ = dgefa::<true>(&mut m);
+    }
+
+    #[test]
+    fn run_lufact_validates() {
+        let r = run_lufact(80, Style::Opt, None);
+        assert!(r.max_err < 1e-8, "err = {}", r.max_err);
+        assert!(r.mflops > 0.0);
+        let rb = run_lufact(80, Style::Safe, Some(32));
+        assert!(rb.max_err < 1e-8, "blocked err = {}", rb.max_err);
+    }
+}

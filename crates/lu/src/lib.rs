@@ -1,0 +1,229 @@
+//! # npb-lu — the NPB "Lower-Upper symmetric Gauss-Seidel" application
+//!
+//! Solves the discrete 3-D Navier–Stokes system with symmetric
+//! successive over-relaxation (SSOR): each iteration scales the
+//! steady-state residual by `dt`, sweeps a block *lower* triangular
+//! solve up the grid planes and a block *upper* triangular solve back
+//! down ([`sweep`]), and relaxes the solution.
+//!
+//! Unlike BT/SP, the triangular solves carry a point-to-point wavefront
+//! dependency; the parallelization pipelines grid planes across threads
+//! with per-plane flag synchronization — the "synchronization inside a
+//! loop over one grid dimension" the paper blames for LU's lower
+//! scalability (§5.2).
+
+mod norms;
+mod params;
+pub mod rhs;
+pub mod sweep;
+
+pub use norms::{error, l2norm, pintgr};
+pub use params::{reference, LuParams, LuRefs, OMEGA};
+pub use rhs::LuFields;
+
+use npb_cfd_common::Consts;
+use npb_core::{BenchReport, Class, Style, Verified};
+use npb_runtime::{run_par, SharedMut, Team};
+
+/// LU benchmark instance.
+pub struct LuState {
+    /// Problem parameters.
+    pub p: LuParams,
+    /// Discretization constants.
+    pub consts: Consts,
+    /// Field storage.
+    pub fields: LuFields,
+}
+
+/// Outcome of a full LU run.
+#[derive(Debug, Clone, Copy)]
+pub struct LuOutcome {
+    /// Final residual norms (`xcr`).
+    pub xcr: [f64; 5],
+    /// Solution error norms (`xce`).
+    pub xce: [f64; 5],
+    /// Surface integral (`xci`).
+    pub xci: f64,
+    /// Seconds in the timed section.
+    pub secs: f64,
+}
+
+impl LuState {
+    /// Set up the problem for `class`.
+    pub fn new(class: Class) -> LuState {
+        let p = LuParams::for_class(class);
+        LuState { p, consts: Consts::new(p.n, p.n, p.n, p.dt), fields: LuFields::new(p.n) }
+    }
+
+    /// Reset boundary/initial values and the forcing.
+    pub fn reset(&mut self, team: Option<&Team>) {
+        rhs::setbv(&mut self.fields, &self.consts);
+        rhs::setiv(&mut self.fields, &self.consts);
+        rhs::erhs(&mut self.fields, &self.consts, team);
+    }
+
+    /// One SSOR iteration (assumes `fields.rsd` holds the current
+    /// steady-state residual; leaves the refreshed residual in place).
+    pub fn ssor_step<const SAFE: bool>(&mut self, team: Option<&Team>) {
+        let n = self.p.n;
+        let dt = self.p.dt;
+        // rsd *= dt over the interior.
+        {
+            let rsd = unsafe { SharedMut::new(&mut self.fields.rsd) };
+            run_par(team, |par| {
+                for k in par.range_of(1, n - 1) {
+                    for j in 1..n - 1 {
+                        for i in 1..n - 1 {
+                            let base = npb_cfd_common::idx5(n, n, 0, i, j, k);
+                            for m in 0..5 {
+                                rsd.set::<SAFE>(base + m, dt * rsd.get::<SAFE>(base + m));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        sweep::lower_sweep::<SAFE>(&mut self.fields, &self.consts, dt, team);
+        sweep::upper_sweep::<SAFE>(&mut self.fields, &self.consts, dt, team);
+        // u += rsd / (omega (2 - omega)).
+        {
+            let tmp = 1.0 / (OMEGA * (2.0 - OMEGA));
+            let rsd: &[f64] = &self.fields.rsd;
+            let u = unsafe { SharedMut::new(&mut self.fields.u) };
+            run_par(team, |par| {
+                for k in par.range_of(1, n - 1) {
+                    for j in 1..n - 1 {
+                        for i in 1..n - 1 {
+                            let base = npb_cfd_common::idx5(n, n, 0, i, j, k);
+                            for m in 0..5 {
+                                u.add::<SAFE>(base + m, tmp * npb_core::ld::<_, SAFE>(rsd, base + m));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        rhs::rhs::<SAFE>(&mut self.fields, &self.consts, team);
+    }
+
+    /// Full benchmark: one untimed warm-up iteration, re-init, `niter`
+    /// timed SSOR iterations, verification quantities.
+    pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> LuOutcome {
+        self.reset(team);
+        rhs::rhs::<SAFE>(&mut self.fields, &self.consts, team);
+        self.ssor_step::<SAFE>(team);
+
+        self.reset(team);
+        rhs::rhs::<SAFE>(&mut self.fields, &self.consts, team);
+        let t0 = std::time::Instant::now();
+        for _step in 0..self.p.niter {
+            self.ssor_step::<SAFE>(team);
+        }
+        let xcr = l2norm(self.p.n, &self.fields.rsd);
+        let secs = t0.elapsed().as_secs_f64();
+
+        let xce = error(&self.fields, &self.consts);
+        let xci = pintgr(&self.fields, &self.consts);
+        LuOutcome { xcr, xce, xci, secs }
+    }
+}
+
+/// Verify against the published class references (tolerance 1e-8).
+pub fn verify(class: Class, out: &LuOutcome) -> Verified {
+    let Some(r) = reference(class) else {
+        return Verified::NotPerformed;
+    };
+    let eps = 1.0e-8;
+    if (LuParams::for_class(class).dt - r.dt).abs() > eps {
+        return Verified::NotPerformed;
+    }
+    for m in 0..5 {
+        if !npb_core::rel_err_ok(out.xcr[m], r.xcr[m], eps)
+            || !npb_core::rel_err_ok(out.xce[m], r.xce[m], eps)
+        {
+            return Verified::Failure;
+        }
+    }
+    if !npb_core::rel_err_ok(out.xci, r.xci, eps) {
+        return Verified::Failure;
+    }
+    Verified::Success
+}
+
+/// Run the LU benchmark and produce the standard report.
+pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    let mut st = LuState::new(class);
+    let out = match style {
+        Style::Opt => st.run::<false>(team),
+        Style::Safe => st.run::<true>(team),
+    };
+    BenchReport {
+        name: "LU",
+        class,
+        size: (st.p.n, st.p.n, st.p.n),
+        niter: st.p.niter,
+        time_secs: out.secs,
+        mops: st.p.mops(out.secs),
+        threads: team.map_or(0, Team::size),
+        style,
+        verified: verify(class, &out),
+    }
+}
+
+/// Run and return the raw norms (tests / harness).
+pub fn run_raw(class: Class, style: Style, team: Option<&Team>) -> LuOutcome {
+    let mut st = LuState::new(class);
+    match style {
+        Style::Opt => st.run::<false>(team),
+        Style::Safe => st.run::<true>(team),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_matches_published_reference() {
+        let out = run_raw(Class::S, Style::Opt, None);
+        assert_eq!(
+            verify(Class::S, &out),
+            Verified::Success,
+            "xcr = {:?}\nxce = {:?}\nxci = {:.16e}",
+            out.xcr,
+            out.xce,
+            out.xci
+        );
+    }
+
+    #[test]
+    fn safe_style_matches_opt_bitwise() {
+        let a = run_raw(Class::S, Style::Opt, None);
+        let b = run_raw(Class::S, Style::Safe, None);
+        assert_eq!(a.xcr, b.xcr);
+        assert_eq!(a.xce, b.xce);
+        assert_eq!(a.xci, b.xci);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // The pipelined wavefront preserves the serial dependence order,
+        // so any team size reproduces the serial bits.
+        let serial = run_raw(Class::S, Style::Opt, None);
+        for n in [2usize, 3] {
+            let team = Team::new(n);
+            let par = run_raw(Class::S, Style::Opt, Some(&team));
+            assert_eq!(par.xcr, serial.xcr, "{n} threads");
+            assert_eq!(par.xce, serial.xce, "{n} threads");
+            assert_eq!(par.xci, serial.xci, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_perturbed_norms() {
+        let out = run_raw(Class::S, Style::Opt, None);
+        let mut bad = out;
+        bad.xci *= 1.0 + 1e-6;
+        assert_eq!(verify(Class::S, &bad), Verified::Failure);
+    }
+}

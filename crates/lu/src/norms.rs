@@ -1,0 +1,172 @@
+//! LU's verification quantities: interior L2 norms (`l2norm`), solution
+//! error against the exact polynomial (`error`), and the surface
+//! integral (`pintgr`).
+
+use crate::rhs::LuFields;
+use npb_cfd_common::Consts;
+
+/// Interior L2 norm of a 5-component field, per component.
+pub fn l2norm(n: usize, v: &[f64]) -> [f64; 5] {
+    let mut s = [0.0f64; 5];
+    for k in 1..n - 1 {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                for m in 0..5 {
+                    let x = v[npb_cfd_common::idx5(n, n, m, i, j, k)];
+                    s[m] += x * x;
+                }
+            }
+        }
+    }
+    let denom = ((n - 2) * (n - 2) * (n - 2)) as f64;
+    s.map(|x| (x / denom).sqrt())
+}
+
+/// Interior RMS error of `u` against the exact solution.
+pub fn error(f: &LuFields, c: &Consts) -> [f64; 5] {
+    let n = f.n;
+    let nf = n as f64 - 1.0;
+    let mut s = [0.0f64; 5];
+    for k in 1..n - 1 {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let e = c.exact_solution(i as f64 / nf, j as f64 / nf, k as f64 / nf);
+                for m in 0..5 {
+                    let tmp = e[m] - f.u[f.id5(m, i, j, k)];
+                    s[m] += tmp * tmp;
+                }
+            }
+        }
+    }
+    let denom = ((n - 2) * (n - 2) * (n - 2)) as f64;
+    s.map(|x| (x / denom).sqrt())
+}
+
+/// The pressure-work quantity `phi = c2 (e - ½|ρv|²/ρ)` at one point.
+fn phi(f: &LuFields, c: &Consts, i: usize, j: usize, k: usize) -> f64 {
+    let u0 = f.u[f.id5(0, i, j, k)];
+    let u1 = f.u[f.id5(1, i, j, k)];
+    let u2 = f.u[f.id5(2, i, j, k)];
+    let u3 = f.u[f.id5(3, i, j, k)];
+    let u4 = f.u[f.id5(4, i, j, k)];
+    c.c2 * (u4 - 0.5 * (u1 * u1 + u2 * u2 + u3 * u3) / u0)
+}
+
+/// Surface integral `pintgr`: trapezoid sums of `phi` over three face
+/// pairs of the subdomain the reference fixes in `setcoeff`.
+pub fn pintgr(f: &LuFields, c: &Consts) -> f64 {
+    let n = f.n;
+    // 0-based bounds of the reference's (ii1, ii2, ji1, ji2, ki1, ki2).
+    let ibeg = 1;
+    let ifin = n - 2;
+    let jbeg = 1;
+    let jfin = n - 3;
+    let ki1 = 2;
+    let ki2 = n - 2;
+
+    let mut frc1 = 0.0;
+    for j in jbeg..jfin {
+        for i in ibeg..ifin {
+            frc1 += phi(f, c, i, j, ki1)
+                + phi(f, c, i + 1, j, ki1)
+                + phi(f, c, i, j + 1, ki1)
+                + phi(f, c, i + 1, j + 1, ki1)
+                + phi(f, c, i, j, ki2)
+                + phi(f, c, i + 1, j, ki2)
+                + phi(f, c, i, j + 1, ki2)
+                + phi(f, c, i + 1, j + 1, ki2);
+        }
+    }
+    let frc1 = c.dnxm1 * c.dnym1 * frc1;
+
+    let mut frc2 = 0.0;
+    for k in ki1..ki2 {
+        for i in ibeg..ifin {
+            frc2 += phi(f, c, i, jbeg, k)
+                + phi(f, c, i + 1, jbeg, k)
+                + phi(f, c, i, jbeg, k + 1)
+                + phi(f, c, i + 1, jbeg, k + 1)
+                + phi(f, c, i, jfin, k)
+                + phi(f, c, i + 1, jfin, k)
+                + phi(f, c, i, jfin, k + 1)
+                + phi(f, c, i + 1, jfin, k + 1);
+        }
+    }
+    let frc2 = c.dnxm1 * c.dnzm1 * frc2;
+
+    let mut frc3 = 0.0;
+    for k in ki1..ki2 {
+        for j in jbeg..jfin {
+            frc3 += phi(f, c, ibeg, j, k)
+                + phi(f, c, ibeg, j + 1, k)
+                + phi(f, c, ibeg, j, k + 1)
+                + phi(f, c, ibeg, j + 1, k + 1)
+                + phi(f, c, ifin, j, k)
+                + phi(f, c, ifin, j + 1, k)
+                + phi(f, c, ifin, j, k + 1)
+                + phi(f, c, ifin, j + 1, k + 1);
+        }
+    }
+    let frc3 = c.dnym1 * c.dnzm1 * frc3;
+
+    0.25 * (frc1 + frc2 + frc3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rhs::{setbv, setiv};
+
+    #[test]
+    fn l2norm_of_constant_field() {
+        let n = 8;
+        let mut v = vec![0.0; 5 * n * n * n];
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    for m in 0..5 {
+                        v[npb_cfd_common::idx5(n, n, m, i, j, k)] = 3.0;
+                    }
+                }
+            }
+        }
+        let s = l2norm(n, &v);
+        for m in 0..5 {
+            assert!((s[m] - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_zero_for_exact_field() {
+        let n = 8;
+        let c = Consts::new(n, n, n, 0.5);
+        let mut f = LuFields::new(n);
+        let nf = n as f64 - 1.0;
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let e = c.exact_solution(i as f64 / nf, j as f64 / nf, k as f64 / nf);
+                    for m in 0..5 {
+                        let id = f.id5(m, i, j, k);
+                        f.u[id] = e[m];
+                    }
+                }
+            }
+        }
+        let s = error(&f, &c);
+        assert!(s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pintgr_is_finite_and_stable() {
+        let n = 12;
+        let c = Consts::new(n, n, n, 0.5);
+        let mut f = LuFields::new(n);
+        setbv(&mut f, &c);
+        setiv(&mut f, &c);
+        let a = pintgr(&f, &c);
+        let b = pintgr(&f, &c);
+        assert!(a.is_finite());
+        assert_eq!(a, b);
+    }
+}

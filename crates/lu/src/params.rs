@@ -1,0 +1,129 @@
+//! Per-class parameters and verification references for LU.
+
+use npb_core::Class;
+
+/// LU problem parameters (NPB 3.0 class table).
+#[derive(Debug, Clone, Copy)]
+pub struct LuParams {
+    /// Grid extent per dimension.
+    pub n: usize,
+    /// Time step.
+    pub dt: f64,
+    /// SSOR iterations.
+    pub niter: usize,
+}
+
+/// SSOR over-relaxation factor.
+pub const OMEGA: f64 = 1.2;
+
+impl LuParams {
+    /// NPB 3.0 class table.
+    pub fn for_class(class: Class) -> LuParams {
+        match class {
+            Class::S => LuParams { n: 12, dt: 0.5, niter: 50 },
+            Class::W => LuParams { n: 33, dt: 1.5e-3, niter: 300 },
+            Class::A => LuParams { n: 64, dt: 2.0, niter: 250 },
+            Class::B => LuParams { n: 102, dt: 2.0, niter: 250 },
+            Class::C => LuParams { n: 162, dt: 2.0, niter: 250 },
+        }
+    }
+
+    /// NPB's cubic op-count model for LU's Mop/s.
+    pub fn mops(&self, secs: f64) -> f64 {
+        let n = self.n as f64;
+        (1984.77 * n * n * n - 10923.3 * n * n + 27770.9 * n - 144010.0) * self.niter as f64
+            * 1.0e-6
+            / secs.max(1e-12)
+    }
+}
+
+/// Reference norms for LU: residual (`xcr`), error (`xce`), surface
+/// integral (`xci`), plus the `dt` gate.
+#[derive(Debug, Clone, Copy)]
+pub struct LuRefs {
+    /// Reference time step.
+    pub dt: f64,
+    /// Residual norms.
+    pub xcr: [f64; 5],
+    /// Error norms.
+    pub xce: [f64; 5],
+    /// Surface integral.
+    pub xci: f64,
+}
+
+/// Published references (`verify` in `lu.f`), classes S and A.
+pub fn reference(class: Class) -> Option<LuRefs> {
+    match class {
+        Class::S => Some(LuRefs {
+            dt: 0.5,
+            xcr: [
+                1.6196343210976702e-02,
+                2.1976745164821318e-03,
+                1.5179927653399185e-03,
+                1.5029584435994323e-03,
+                3.4264073155896461e-02,
+            ],
+            xce: [
+                6.4223319957960924e-04,
+                8.4144342047347926e-05,
+                5.8588269616485186e-05,
+                5.8474222595157350e-05,
+                1.3103347914111294e-03,
+            ],
+            xci: 7.8418928865937083e+00,
+        }),
+        Class::W => Some(LuRefs {
+            dt: 1.5e-3,
+        // regenerated: true — class W constants pinned from the serial
+        // opt build (DESIGN.md verification policy); they guard style,
+        // thread-count and regression consistency.
+            xcr: [
+                1.2365116381921874e+1,
+                1.3172284777985026e+0,
+                2.5501207130947581e+0,
+                2.3261877502524264e+0,
+                2.8267994441885676e+1,
+            ],
+            xce: [
+                4.8678771442162511e-1,
+                5.0646528809815308e-2,
+                9.2818181019598503e-2,
+                8.5701265427329157e-2,
+                1.0842774177922812e+0,
+            ],
+            xci: 1.1613993110230368e+1,
+        }),
+        Class::A => Some(LuRefs {
+            dt: 2.0,
+            xcr: [
+                7.7902107606689367e+02,
+                6.3402765259692413e+01,
+                1.9499249727292479e+02,
+                1.7845301160418537e+02,
+                1.8384760349464247e+03,
+            ],
+            xce: [
+                2.9964085685471943e+01,
+                2.8194576365003349e+00,
+                7.3473412698774742e+00,
+                6.7139225687777051e+00,
+                7.0715315688392578e+01,
+            ],
+            xci: 2.6030925604886277e+01,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_table_is_sane() {
+        for c in Class::ALL {
+            let p = LuParams::for_class(c);
+            assert!(p.n >= 12 && p.dt > 0.0 && p.niter >= 50);
+        }
+    }
+}

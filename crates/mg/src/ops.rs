@@ -1,0 +1,482 @@
+//! The MG grid operators: `psinv` (smoother), `resid` (residual),
+//! `rprj3` (restriction), `interp` (prolongation), `norm2u3` (norms),
+//! `comm3` (periodic boundary exchange), `zero3`.
+//!
+//! All operators are line-for-line ports of `mg.f` (same expression
+//! association, same scratch-line structure), indexed 1-based through a
+//! local closure so the code reads like the reference. Grids are cubes of
+//! extent `n` including one ghost layer per face; the interior is
+//! `2..=n-1` in 1-based coordinates.
+//!
+//! Parallelization follows the OpenMP version: each operator partitions
+//! its outermost (`i3`) loop across the team; `comm3` updates the i1/i2
+//! faces per-plane and then the i3 faces after a barrier.
+
+use npb_runtime::{run_par, Partials, SharedMut, Team};
+
+/// 1-based flat index into a cube of extent `n`.
+#[inline(always)]
+pub fn id1(n: usize, i1: usize, i2: usize, i3: usize) -> usize {
+    (i1 - 1) + n * ((i2 - 1) + n * (i3 - 1))
+}
+
+/// Zero a grid.
+pub fn zero3(z: &SharedMut<f64>, _n: usize, team: Option<&Team>) {
+    run_par(team, |p| {
+        for i in p.range(z.len()) {
+            z.set::<true>(i, 0.0);
+        }
+    });
+}
+
+/// Periodic boundary exchange (`comm3`): copy the opposite interior
+/// faces into the ghost layers, axis by axis in the reference order.
+pub fn comm3<const SAFE: bool>(u: &SharedMut<f64>, n: usize, team: Option<&Team>) {
+    run_par(team, |p| {
+        let id = |i1, i2, i3| id1(n, i1, i2, i3);
+        // Axis 1 then axis 2, per interior plane i3.
+        for i3 in p.range_of(2, n) {
+            for i2 in 2..n {
+                u.set::<SAFE>(id(1, i2, i3), u.get::<SAFE>(id(n - 1, i2, i3)));
+                u.set::<SAFE>(id(n, i2, i3), u.get::<SAFE>(id(2, i2, i3)));
+            }
+            for i1 in 1..=n {
+                u.set::<SAFE>(id(i1, 1, i3), u.get::<SAFE>(id(i1, n - 1, i3)));
+                u.set::<SAFE>(id(i1, n, i3), u.get::<SAFE>(id(i1, 2, i3)));
+            }
+        }
+        p.barrier();
+        // Axis 3: whole-plane copies (including the ghosts just written).
+        for i2 in p.range_of(1, n + 1) {
+            for i1 in 1..=n {
+                u.set::<SAFE>(id(i1, i2, 1), u.get::<SAFE>(id(i1, i2, n - 1)));
+                u.set::<SAFE>(id(i1, i2, n), u.get::<SAFE>(id(i1, i2, 2)));
+            }
+        }
+    });
+}
+
+/// Residual: `r = v - A u` followed by the boundary exchange on `r`.
+///
+/// `v` and `r` may alias (the V-cycle calls `resid(u, r, r)`); the update
+/// reads `v` only at the point being written, so elementwise in-place is
+/// exact.
+pub fn resid<const SAFE: bool>(
+    u: &SharedMut<f64>,
+    v: &SharedMut<f64>,
+    r: &SharedMut<f64>,
+    n: usize,
+    a: &[f64; 4],
+    team: Option<&Team>,
+) {
+    run_par(team, |p| {
+        let id = |i1, i2, i3| id1(n, i1, i2, i3);
+        let mut u1 = vec![0.0f64; n + 1];
+        let mut u2 = vec![0.0f64; n + 1];
+        for i3 in p.range_of(2, n) {
+            for i2 in 2..n {
+                for i1 in 1..=n {
+                    u1[i1] = u.get::<SAFE>(id(i1, i2 - 1, i3))
+                        + u.get::<SAFE>(id(i1, i2 + 1, i3))
+                        + u.get::<SAFE>(id(i1, i2, i3 - 1))
+                        + u.get::<SAFE>(id(i1, i2, i3 + 1));
+                    u2[i1] = u.get::<SAFE>(id(i1, i2 - 1, i3 - 1))
+                        + u.get::<SAFE>(id(i1, i2 + 1, i3 - 1))
+                        + u.get::<SAFE>(id(i1, i2 - 1, i3 + 1))
+                        + u.get::<SAFE>(id(i1, i2 + 1, i3 + 1));
+                }
+                for i1 in 2..n {
+                    // a[1] == 0: the corresponding term is dropped, as in
+                    // the reference.
+                    r.set::<SAFE>(
+                        id(i1, i2, i3),
+                        v.get::<SAFE>(id(i1, i2, i3))
+                            - a[0] * u.get::<SAFE>(id(i1, i2, i3))
+                            - a[2] * (u2[i1] + u1[i1 - 1] + u1[i1 + 1])
+                            - a[3] * (u2[i1 - 1] + u2[i1 + 1]),
+                    );
+                }
+            }
+        }
+    });
+    comm3::<SAFE>(r, n, team);
+}
+
+/// Smoother: `u += S r` followed by the boundary exchange on `u`.
+pub fn psinv<const SAFE: bool>(
+    r: &SharedMut<f64>,
+    u: &SharedMut<f64>,
+    n: usize,
+    c: &[f64; 4],
+    team: Option<&Team>,
+) {
+    run_par(team, |p| {
+        let id = |i1, i2, i3| id1(n, i1, i2, i3);
+        let mut r1 = vec![0.0f64; n + 1];
+        let mut r2 = vec![0.0f64; n + 1];
+        for i3 in p.range_of(2, n) {
+            for i2 in 2..n {
+                for i1 in 1..=n {
+                    r1[i1] = r.get::<SAFE>(id(i1, i2 - 1, i3))
+                        + r.get::<SAFE>(id(i1, i2 + 1, i3))
+                        + r.get::<SAFE>(id(i1, i2, i3 - 1))
+                        + r.get::<SAFE>(id(i1, i2, i3 + 1));
+                    r2[i1] = r.get::<SAFE>(id(i1, i2 - 1, i3 - 1))
+                        + r.get::<SAFE>(id(i1, i2 + 1, i3 - 1))
+                        + r.get::<SAFE>(id(i1, i2 - 1, i3 + 1))
+                        + r.get::<SAFE>(id(i1, i2 + 1, i3 + 1));
+                }
+                for i1 in 2..n {
+                    // c[3] == 0: term dropped, as in the reference.
+                    u.set::<SAFE>(
+                        id(i1, i2, i3),
+                        u.get::<SAFE>(id(i1, i2, i3))
+                            + c[0] * r.get::<SAFE>(id(i1, i2, i3))
+                            + c[1]
+                                * (r.get::<SAFE>(id(i1 - 1, i2, i3))
+                                    + r.get::<SAFE>(id(i1 + 1, i2, i3))
+                                    + r1[i1])
+                            + c[2] * (r2[i1] + r1[i1 - 1] + r1[i1 + 1]),
+                    );
+                }
+            }
+        }
+    });
+    comm3::<SAFE>(u, n, team);
+}
+
+/// Restriction (`rprj3`): half-weighting projection of the fine residual
+/// `r` (extent `nf`) onto the coarse grid `s` (extent `nc`), then the
+/// boundary exchange on `s`.
+pub fn rprj3<const SAFE: bool>(
+    r: &SharedMut<f64>,
+    nf: usize,
+    s: &SharedMut<f64>,
+    nc: usize,
+    team: Option<&Team>,
+) {
+    // The d1=2 branch of the reference only triggers for extent-3 grids,
+    // which cannot occur with power-of-two levels (coarsest is 4).
+    assert!(nf >= 4 && nc >= 4 && nf == 2 * nc - 2, "rprj3 sizes {nf}/{nc}");
+    run_par(team, |p| {
+        let idf = |i1, i2, i3| id1(nf, i1, i2, i3);
+        let idc = |i1, i2, i3| id1(nc, i1, i2, i3);
+        let mut x1 = vec![0.0f64; nf + 2];
+        let mut y1 = vec![0.0f64; nf + 2];
+        for j3 in p.range_of(2, nc) {
+            let i3 = 2 * j3 - 1;
+            for j2 in 2..nc {
+                let i2 = 2 * j2 - 1;
+                for j1 in 2..=nc {
+                    let i1 = 2 * j1 - 1;
+                    x1[i1 - 1] = r.get::<SAFE>(idf(i1 - 1, i2 - 1, i3))
+                        + r.get::<SAFE>(idf(i1 - 1, i2 + 1, i3))
+                        + r.get::<SAFE>(idf(i1 - 1, i2, i3 - 1))
+                        + r.get::<SAFE>(idf(i1 - 1, i2, i3 + 1));
+                    y1[i1 - 1] = r.get::<SAFE>(idf(i1 - 1, i2 - 1, i3 - 1))
+                        + r.get::<SAFE>(idf(i1 - 1, i2 - 1, i3 + 1))
+                        + r.get::<SAFE>(idf(i1 - 1, i2 + 1, i3 - 1))
+                        + r.get::<SAFE>(idf(i1 - 1, i2 + 1, i3 + 1));
+                }
+                for j1 in 2..nc {
+                    let i1 = 2 * j1 - 1;
+                    let y2 = r.get::<SAFE>(idf(i1, i2 - 1, i3 - 1))
+                        + r.get::<SAFE>(idf(i1, i2 - 1, i3 + 1))
+                        + r.get::<SAFE>(idf(i1, i2 + 1, i3 - 1))
+                        + r.get::<SAFE>(idf(i1, i2 + 1, i3 + 1));
+                    let x2 = r.get::<SAFE>(idf(i1, i2 - 1, i3))
+                        + r.get::<SAFE>(idf(i1, i2 + 1, i3))
+                        + r.get::<SAFE>(idf(i1, i2, i3 - 1))
+                        + r.get::<SAFE>(idf(i1, i2, i3 + 1));
+                    s.set::<SAFE>(
+                        idc(j1, j2, j3),
+                        0.5 * r.get::<SAFE>(idf(i1, i2, i3))
+                            + 0.25
+                                * (r.get::<SAFE>(idf(i1 - 1, i2, i3))
+                                    + r.get::<SAFE>(idf(i1 + 1, i2, i3))
+                                    + x2)
+                            + 0.125 * (x1[i1 - 1] + x1[i1 + 1] + y2)
+                            + 0.0625 * (y1[i1 - 1] + y1[i1 + 1]),
+                    );
+                }
+            }
+        }
+    });
+    comm3::<SAFE>(s, nc, team);
+}
+
+/// Prolongation (`interp`): trilinear interpolation of the coarse
+/// correction `z` (extent `nc`) **added** into the fine grid `u`
+/// (extent `nf`). No boundary exchange (the following `resid`/`psinv`
+/// re-establish the ghosts), as in the reference.
+pub fn interp<const SAFE: bool>(
+    z: &SharedMut<f64>,
+    nc: usize,
+    u: &SharedMut<f64>,
+    nf: usize,
+    team: Option<&Team>,
+) {
+    assert!(nc >= 4 && nf == 2 * nc - 2, "interp sizes {nc}/{nf}");
+    run_par(team, |p| {
+        let idc = |i1, i2, i3| id1(nc, i1, i2, i3);
+        let idf = |i1, i2, i3| id1(nf, i1, i2, i3);
+        let mut z1 = vec![0.0f64; nc + 1];
+        let mut z2 = vec![0.0f64; nc + 1];
+        let mut z3 = vec![0.0f64; nc + 1];
+        for i3 in p.range_of(1, nc) {
+            for i2 in 1..nc {
+                for i1 in 1..=nc {
+                    z1[i1] = z.get::<SAFE>(idc(i1, i2 + 1, i3)) + z.get::<SAFE>(idc(i1, i2, i3));
+                    z2[i1] = z.get::<SAFE>(idc(i1, i2, i3 + 1)) + z.get::<SAFE>(idc(i1, i2, i3));
+                    z3[i1] = z.get::<SAFE>(idc(i1, i2 + 1, i3 + 1))
+                        + z.get::<SAFE>(idc(i1, i2, i3 + 1))
+                        + z1[i1];
+                }
+                for i1 in 1..nc {
+                    u.add::<SAFE>(
+                        idf(2 * i1 - 1, 2 * i2 - 1, 2 * i3 - 1),
+                        z.get::<SAFE>(idc(i1, i2, i3)),
+                    );
+                    u.add::<SAFE>(
+                        idf(2 * i1, 2 * i2 - 1, 2 * i3 - 1),
+                        0.5 * (z.get::<SAFE>(idc(i1 + 1, i2, i3)) + z.get::<SAFE>(idc(i1, i2, i3))),
+                    );
+                }
+                for i1 in 1..nc {
+                    u.add::<SAFE>(idf(2 * i1 - 1, 2 * i2, 2 * i3 - 1), 0.5 * z1[i1]);
+                    u.add::<SAFE>(idf(2 * i1, 2 * i2, 2 * i3 - 1), 0.25 * (z1[i1] + z1[i1 + 1]));
+                }
+                for i1 in 1..nc {
+                    u.add::<SAFE>(idf(2 * i1 - 1, 2 * i2 - 1, 2 * i3), 0.5 * z2[i1]);
+                    u.add::<SAFE>(idf(2 * i1, 2 * i2 - 1, 2 * i3), 0.25 * (z2[i1] + z2[i1 + 1]));
+                }
+                for i1 in 1..nc {
+                    u.add::<SAFE>(idf(2 * i1 - 1, 2 * i2, 2 * i3), 0.25 * z3[i1]);
+                    u.add::<SAFE>(idf(2 * i1, 2 * i2, 2 * i3), 0.125 * (z3[i1] + z3[i1 + 1]));
+                }
+            }
+        }
+    });
+}
+
+/// Norms over the interior: returns `(rnm2, rnmu)` = (scaled L2 norm,
+/// max norm).
+pub fn norm2u3<const SAFE: bool>(
+    r: &SharedMut<f64>,
+    n: usize,
+    team: Option<&Team>,
+) -> (f64, f64) {
+    let nthreads = team.map_or(1, Team::size);
+    let psum = Partials::new(nthreads);
+    let pmax = Partials::new(nthreads);
+    run_par(team, |p| {
+        let id = |i1, i2, i3| id1(n, i1, i2, i3);
+        let mut s = 0.0f64;
+        let mut m = 0.0f64;
+        for i3 in p.range_of(2, n) {
+            for i2 in 2..n {
+                for i1 in 2..n {
+                    let v = r.get::<SAFE>(id(i1, i2, i3));
+                    s += v * v;
+                    m = m.max(v.abs());
+                }
+            }
+        }
+        psum.set(p.tid(), s);
+        pmax.set(p.tid(), m);
+    });
+    let dn = ((n - 2) * (n - 2) * (n - 2)) as f64;
+    ((psum.sum() / dn).sqrt(), pmax.max())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, f: impl Fn(usize, usize, usize) -> f64) -> Vec<f64> {
+        let mut v = vec![0.0; n * n * n];
+        for i3 in 1..=n {
+            for i2 in 1..=n {
+                for i1 in 1..=n {
+                    v[id1(n, i1, i2, i3)] = f(i1, i2, i3);
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn comm3_wraps_all_axes() {
+        let n = 6;
+        let mut v = grid(n, |i1, i2, i3| (i1 * 100 + i2 * 10 + i3) as f64);
+        let s = unsafe { SharedMut::new(&mut v) };
+        comm3::<true>(&s, n, None);
+        // Ghost at i1=1 must equal interior at i1=n-1.
+        assert_eq!(s.get::<true>(id1(n, 1, 3, 3)), s.get::<true>(id1(n, n - 1, 3, 3)));
+        assert_eq!(s.get::<true>(id1(n, n, 3, 3)), s.get::<true>(id1(n, 2, 3, 3)));
+        assert_eq!(s.get::<true>(id1(n, 3, 1, 3)), s.get::<true>(id1(n, 3, n - 1, 3)));
+        assert_eq!(s.get::<true>(id1(n, 3, 3, n)), s.get::<true>(id1(n, 3, 3, 2)));
+        // Corner ghosts resolve through the axis ordering.
+        assert_eq!(s.get::<true>(id1(n, 1, 1, 1)), s.get::<true>(id1(n, n - 1, n - 1, n - 1)));
+    }
+
+    #[test]
+    fn resid_of_constant_field_is_rhs_scaled() {
+        // A applied to a constant c gives c * (a0 + 12 a2 + 8 a3) + 6*a1*c;
+        // with the NPB coefficients (-8/3, 0, 1/6, 1/12) that sum is
+        // -8/3 + 12/6 + 8/12 = 0, so r = v exactly.
+        let n = 8;
+        let a = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
+        let mut u = grid(n, |_, _, _| 3.5);
+        let mut v = grid(n, |i1, i2, i3| (i1 + i2 + i3) as f64);
+        let mut r = vec![0.0; n * n * n];
+        let su = unsafe { SharedMut::new(&mut u) };
+        let sv = unsafe { SharedMut::new(&mut v) };
+        let sr = unsafe { SharedMut::new(&mut r) };
+        resid::<true>(&su, &sv, &sr, n, &a, None);
+        for i3 in 2..n {
+            for i2 in 2..n {
+                for i1 in 2..n {
+                    let got = sr.get::<true>(id1(n, i1, i2, i3));
+                    let want = (i1 + i2 + i3) as f64;
+                    assert!((got - want).abs() < 1e-12, "r({i1},{i2},{i3}) = {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operators_parallel_match_serial() {
+        let n = 10;
+        let a = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
+        let c = [-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0];
+        let init = |seed: f64| grid(n, |i1, i2, i3| ((i1 * 7 + i2 * 3 + i3) as f64).sin() * seed);
+
+        let team = npb_runtime::Team::new(3);
+        let run_ops = |team: Option<&Team>| {
+            let mut u = init(1.0);
+            let mut v = init(2.0);
+            let mut r = vec![0.0; n * n * n];
+            let nc = (n - 2) / 2 + 2;
+            let mut sgrid = vec![0.0; nc * nc * nc];
+            {
+                let su = unsafe { SharedMut::new(&mut u) };
+                let sv = unsafe { SharedMut::new(&mut v) };
+                let sr = unsafe { SharedMut::new(&mut r) };
+                let ss = unsafe { SharedMut::new(&mut sgrid) };
+                comm3::<false>(&su, n, team);
+                resid::<false>(&su, &sv, &sr, n, &a, team);
+                psinv::<false>(&sr, &su, n, &c, team);
+                rprj3::<false>(&sr, n, &ss, nc, team);
+                interp::<false>(&ss, nc, &su, n, team);
+            }
+            (u, r, sgrid)
+        };
+        let (u_s, r_s, s_s) = run_ops(None);
+        let (u_p, r_p, s_p) = run_ops(Some(&team));
+        assert_eq!(u_s, u_p);
+        assert_eq!(r_s, r_p);
+        assert_eq!(s_s, s_p);
+    }
+
+    #[test]
+    fn norm2u3_computes_scaled_l2_and_max() {
+        let n = 6;
+        let mut r = grid(n, |i1, i2, i3| {
+            if (2..n).contains(&i1) && (2..n).contains(&i2) && (2..n).contains(&i3) {
+                2.0
+            } else {
+                99.0 // ghosts must be ignored
+            }
+        });
+        let sr = unsafe { SharedMut::new(&mut r) };
+        let (rnm2, rnmu) = norm2u3::<true>(&sr, n, None);
+        assert!((rnm2 - 2.0).abs() < 1e-12);
+        assert_eq!(rnmu, 2.0);
+    }
+
+    #[test]
+    fn zero3_clears() {
+        let n = 5;
+        let mut v = grid(n, |_, _, _| 7.0);
+        let s = unsafe { SharedMut::new(&mut v) };
+        zero3(&s, n, None);
+        drop(s);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use npb_runtime::SharedMut;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The residual operator is affine: resid(u, v) - resid(u, 0)
+        /// equals v on the interior (A u enters with one sign, v with
+        /// the other).
+        #[test]
+        fn resid_is_affine_in_v(seed in 0u64..1000) {
+            let n = 8;
+            let a = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
+            let field = |s: u64| -> Vec<f64> {
+                (0..n * n * n)
+                    .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(s)) % 1000) as f64
+                        * 1e-3)
+                    .collect()
+            };
+            let mut u = field(seed);
+            let mut v = field(seed.wrapping_add(17));
+            let mut zero = vec![0.0; n * n * n];
+            let mut r1 = vec![0.0; n * n * n];
+            let mut r0 = vec![0.0; n * n * n];
+            {
+                let su = unsafe { SharedMut::new(&mut u) };
+                let sv = unsafe { SharedMut::new(&mut v) };
+                let sz = unsafe { SharedMut::new(&mut zero) };
+                let sr1 = unsafe { SharedMut::new(&mut r1) };
+                let sr0 = unsafe { SharedMut::new(&mut r0) };
+                resid::<true>(&su, &sv, &sr1, n, &a, None);
+                resid::<true>(&su, &sz, &sr0, n, &a, None);
+            }
+            for i3 in 2..n - 1 {
+                for i2 in 2..n - 1 {
+                    for i1 in 2..n - 1 {
+                        let id = id1(n, i1, i2, i3);
+                        prop_assert!((r1[id] - r0[id] - v[id]).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+
+        /// Restriction of a constant field is (asymptotically) the same
+        /// constant: the rprj3 weights sum to 2 over interior cells, and
+        /// comm3 keeps the field periodic-consistent.
+        #[test]
+        fn rprj3_weights_sum(c0 in 0.5f64..2.0) {
+            let nf = 10usize;
+            let nc = 6usize;
+            let mut r = vec![c0; nf * nf * nf];
+            let mut s = vec![0.0; nc * nc * nc];
+            {
+                let sr = unsafe { SharedMut::new(&mut r) };
+                let ss = unsafe { SharedMut::new(&mut s) };
+                rprj3::<true>(&sr, nf, &ss, nc, None);
+            }
+            // 0.5 + 0.25*6 + 0.125*12 + 0.0625*8 = 4*... the full-weighting
+            // stencil sums to 4 in 3-D half-weighting form: check against
+            // the value computed at one interior coarse point.
+            let w = s[id1(nc, 3, 3, 3)] / c0;
+            for i3 in 2..nc - 1 {
+                for i2 in 2..nc - 1 {
+                    for i1 in 2..nc - 1 {
+                        prop_assert!((s[id1(nc, i1, i2, i3)] - w * c0).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-class parameters and published residual-norm references for MG.
+
+use npb_core::Class;
+
+/// MG problem parameters (NPB 3.0 class table).
+#[derive(Debug, Clone, Copy)]
+pub struct MgParams {
+    /// Grid extent per dimension (power of two).
+    pub nx: usize,
+    /// V-cycle iterations.
+    pub nit: usize,
+    /// Published reference `L2` residual norm after `nit` cycles.
+    pub verify_rnm2: Option<f64>,
+}
+
+impl MgParams {
+    /// NPB 3.0 class table.
+    pub fn for_class(class: Class) -> MgParams {
+        match class {
+            Class::S => MgParams { nx: 32, nit: 4, verify_rnm2: Some(0.5307707005734e-04) },
+            Class::W => MgParams { nx: 128, nit: 4, verify_rnm2: Some(0.6467329375339e-05) },
+            Class::A => MgParams { nx: 256, nit: 4, verify_rnm2: Some(0.2433365309069e-05) },
+            Class::B => MgParams { nx: 256, nit: 20, verify_rnm2: Some(0.1800564401355e-05) },
+            Class::C => MgParams { nx: 512, nit: 20, verify_rnm2: Some(0.5706732285740e-06) },
+        }
+    }
+
+    /// log2 of the grid extent = number of multigrid levels.
+    pub fn lt(&self) -> usize {
+        self.nx.trailing_zeros() as usize
+    }
+
+    /// Smoother coefficients: NPB uses a different `c` for classes B/C.
+    pub fn smoother_c(&self, class: Class) -> [f64; 4] {
+        match class {
+            Class::A | Class::S | Class::W => [-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0],
+            Class::B | Class::C => [-3.0 / 17.0, 1.0 / 33.0, -1.0 / 61.0, 0.0],
+        }
+    }
+
+    /// Operator coefficients (same for all classes).
+    pub fn operator_a(&self) -> [f64; 4] {
+        [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes_are_powers_of_two() {
+        for c in Class::ALL {
+            let p = MgParams::for_class(c);
+            assert!(p.nx.is_power_of_two());
+            assert_eq!(1usize << p.lt(), p.nx);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # npb-runtime
+//!
+//! The parallel substrate of this NPB reproduction, mirroring §4 of the
+//! paper: the Java version derives every benchmark class from
+//! `java.lang.Thread`, designates the main instance as a **master** that
+//! controls synchronization, and keeps the **workers** switched between
+//! blocked and runnable states with `wait()`/`notify()`. Conceptually the
+//! model is OpenMP's: a parallel region runs the same code on every
+//! worker, loop iterations are statically partitioned, and barriers
+//! separate dependent phases.
+//!
+//! This crate reproduces exactly that state machine:
+//!
+//! * [`Team`] — a persistent set of worker threads blocked on a condition
+//!   variable between parallel regions; [`Team::exec`] is the paper's
+//!   master dispatch (`notify_all`) followed by the master blocking until
+//!   all workers report done;
+//! * [`Par`] — the per-thread context inside a region: thread id, static
+//!   [`Par::range`] partitioning, [`Par::barrier`];
+//! * [`partition`] — OpenMP-style static block partitioning;
+//! * [`Partials`] — cache-padded per-thread slots combined in rank order,
+//!   so reductions are deterministic for a fixed thread count;
+//! * [`SharedMut`] — the disjoint-writes shared view that plays the role
+//!   of OpenMP's shared arrays.
+//!
+//! The **serial** rows of the paper's tables correspond to running with no
+//! team at all ([`run_par`] with `None`), and "1 thread" to
+//! `Team::new(1)` — which is how the paper measures the thread overhead
+//! ("Java thread overhead (1 thread versus serial) contributes no more
+//! than 20% to the execution time").
+
+mod partials;
+mod partition;
+mod shared;
+mod team;
+
+pub use partials::Partials;
+pub use partition::partition;
+pub use shared::SharedMut;
+pub use team::{run_par, Par, Team};

@@ -1,0 +1,118 @@
+//! Deterministic per-thread reduction slots.
+
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+
+/// Cache-padded per-thread accumulator slots for reductions.
+///
+/// Each thread of a parallel region writes only the slot of its own rank;
+/// after the region the master combines the slots **in rank order**, so a
+/// reduction is bit-deterministic for a fixed thread count (the OpenMP
+/// NPB has the same property with its static schedule).
+pub struct Partials {
+    slots: Vec<CachePadded<UnsafeCell<f64>>>,
+}
+
+// SAFETY: the usage discipline (thread t writes only slot t during a
+// region; combination happens after the region's barrier) makes all
+// accesses data-race free.
+unsafe impl Sync for Partials {}
+
+impl Partials {
+    /// `n` zeroed slots.
+    pub fn new(n: usize) -> Self {
+        Partials { slots: (0..n).map(|_| CachePadded::new(UnsafeCell::new(0.0))).collect() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Store thread `tid`'s partial result.
+    ///
+    /// Must only be called by the thread owning rank `tid` during a
+    /// region (see type-level discipline above).
+    #[inline]
+    pub fn set(&self, tid: usize, v: f64) {
+        unsafe {
+            *self.slots[tid].get() = v;
+        }
+    }
+
+    /// Add to thread `tid`'s partial result.
+    #[inline]
+    pub fn accumulate(&self, tid: usize, v: f64) {
+        unsafe {
+            *self.slots[tid].get() += v;
+        }
+    }
+
+    /// Reset all slots to zero (master only, outside a region).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s.get_mut() = 0.0;
+        }
+    }
+
+    /// Combine the slots in rank order with `+`.
+    pub fn sum(&self) -> f64 {
+        self.slots.iter().map(|s| unsafe { *s.get() }).sum()
+    }
+
+    /// Combine the slots in rank order with `max`.
+    pub fn max(&self) -> f64 {
+        self.slots.iter().map(|s| unsafe { *s.get() }).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Read one slot (master only, outside a region).
+    pub fn get(&self, tid: usize) -> f64 {
+        unsafe { *self.slots[tid].get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_in_rank_order() {
+        let p = Partials::new(4);
+        for t in 0..4 {
+            p.set(t, (t + 1) as f64);
+        }
+        assert_eq!(p.sum(), 10.0);
+        assert_eq!(p.max(), 4.0);
+    }
+
+    #[test]
+    fn accumulate_and_clear() {
+        let mut p = Partials::new(2);
+        p.accumulate(0, 1.5);
+        p.accumulate(0, 2.5);
+        assert_eq!(p.get(0), 4.0);
+        p.clear();
+        assert_eq!(p.sum(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_slots() {
+        let p = Partials::new(8);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let p = &p;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        p.accumulate(t, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.sum(), 8000.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared mutable array views for disjoint multi-threaded writes.
+//!
+//! OpenMP (and the paper's Java port) lets every thread of a parallel
+//! region write to *its own* slice of a shared array — e.g. the z-solve of
+//! BT/SP parallelizes over the second grid dimension, so no single
+//! `chunks_mut` decomposition fits. [`SharedMut`] is the equivalent view:
+//! a raw-pointer window over a `&mut [T]` that many threads may read and
+//! write, with the disjointness obligation front-loaded into the single
+//! `unsafe` constructor.
+
+use std::marker::PhantomData;
+
+/// A `Send + Sync` view over a mutable slice that permits concurrent
+/// element access from many threads.
+///
+/// # Safety contract (checked at construction)
+///
+/// [`SharedMut::new`] is `unsafe`: by constructing the view, the caller
+/// asserts that between any two synchronization points (barriers / region
+/// boundaries), **no element is written by one thread while being read or
+/// written by another**. The NPB kernels satisfy this by construction —
+/// each thread touches only the grid planes of its static partition. With
+/// that contract upheld, the accessor methods are safe to call.
+///
+/// Bounds are always checked in the `SAFE = true` ("Java") style and
+/// `debug_assert!`ed in the `SAFE = false` ("Fortran") style, matching
+/// [`npb_core::access`](https://docs.rs) semantics.
+pub struct SharedMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline is asserted by the caller of `new`; the view
+// itself carries no thread-affine state.
+unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
+
+impl<'a, T> SharedMut<'a, T> {
+    /// Create a shared-mutable view of `slice`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that, for the lifetime of the view, every
+    /// element is accessed by at most one thread between synchronization
+    /// points whenever any of those accesses is a write (concurrent reads
+    /// of an element nobody writes are always fine).
+    pub unsafe fn new(slice: &'a mut [T]) -> Self {
+        SharedMut { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Duplicate the view (deliberate aliasing).
+    ///
+    /// # Safety
+    ///
+    /// The combined accesses through *all* aliases must still satisfy the
+    /// disjointness contract of [`SharedMut::new`]. The MG V-cycle uses
+    /// this for its in-place `resid(u, r, r)` call, where the aliased
+    /// views only ever touch the same element within one read-then-write
+    /// expression on one thread.
+    pub unsafe fn alias(&self) -> SharedMut<'a, T> {
+        SharedMut { ptr: self.ptr, len: self.len, _marker: PhantomData }
+    }
+
+    /// Number of elements in the view.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the view is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn check<const SAFE: bool>(&self, i: usize) {
+        if SAFE {
+            assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        } else {
+            debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        }
+    }
+}
+
+impl<'a, T: Copy> SharedMut<'a, T> {
+    /// Read element `i`.
+    #[inline(always)]
+    pub fn get<const SAFE: bool>(&self, i: usize) -> T {
+        self.check::<SAFE>(i);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Write element `i`.
+    #[inline(always)]
+    pub fn set<const SAFE: bool>(&self, i: usize, v: T) {
+        self.check::<SAFE>(i);
+        unsafe {
+            *self.ptr.add(i) = v;
+        }
+    }
+
+    /// Read-modify-write: `a[i] += v`.
+    #[inline(always)]
+    pub fn add<const SAFE: bool>(&self, i: usize, v: T)
+    where
+        T: std::ops::AddAssign,
+    {
+        self.check::<SAFE>(i);
+        unsafe {
+            *self.ptr.add(i) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let mut v = vec![0.0f64; 8];
+        let s = unsafe { SharedMut::new(&mut v) };
+        for i in 0..8 {
+            s.set::<true>(i, i as f64);
+        }
+        for i in 0..8 {
+            assert_eq!(s.get::<false>(i), i as f64);
+        }
+        s.add::<true>(3, 10.0);
+        drop(s);
+        assert_eq!(v[3], 13.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn safe_style_checks_bounds() {
+        let mut v = vec![0.0f64; 4];
+        let s = unsafe { SharedMut::new(&mut v) };
+        s.get::<true>(4);
+    }
+
+    #[test]
+    fn disjoint_concurrent_writes() {
+        let n = 1024;
+        let mut v = vec![0usize; n];
+        let s = unsafe { SharedMut::new(&mut v) };
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    let r = crate::partition(n, 4, t);
+                    for i in r {
+                        s.set::<true>(i, i * 2);
+                    }
+                });
+            }
+        });
+        drop(s);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The master–worker team: persistent threads dispatched per parallel
+//! region, exactly the state machine of the paper's §4.
+
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::partition;
+
+/// Erased pointer to the current region's body.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee outlives the region (the master blocks in `exec`
+// until every worker has finished running it).
+unsafe impl Send for TaskPtr {}
+
+struct JobSlot {
+    epoch: u64,
+    remaining: usize,
+    task: Option<TaskPtr>,
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+struct Inner {
+    n: usize,
+    job: Mutex<JobSlot>,
+    /// Workers block here between regions — the paper's `wait()`.
+    work_cv: Condvar,
+    /// The master blocks here while workers run — the paper's master
+    /// "controls the synchronization of the workers".
+    done_cv: Condvar,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+}
+
+/// A persistent team of worker threads.
+///
+/// Workers are spawned once and then switched between blocked and
+/// runnable states per parallel region, exactly as the paper's Java port
+/// does with `wait()`/`notify()`. Dropping the team shuts the workers
+/// down and joins them.
+pub struct Team {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Per-thread context inside a parallel region (or the serial stand-in).
+///
+/// `team == None` is the pure serial path: one implicit thread, no-op
+/// barriers — the "Serial" column of the paper's tables.
+#[derive(Clone, Copy)]
+pub struct Par<'t> {
+    tid: usize,
+    n: usize,
+    team: Option<&'t Inner>,
+}
+
+impl<'t> Par<'t> {
+    /// Serial context: rank 0 of 1, barriers are no-ops.
+    pub fn serial() -> Par<'static> {
+        Par { tid: 0, n: 1, team: None }
+    }
+
+    /// This thread's rank within the team.
+    #[inline(always)]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of threads in the region.
+    #[inline(always)]
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Static block partition of `0..len` for this rank.
+    #[inline]
+    pub fn range(&self, len: usize) -> Range<usize> {
+        partition(len, self.n, self.tid)
+    }
+
+    /// Static block partition of `lo..hi` for this rank.
+    #[inline]
+    pub fn range_of(&self, lo: usize, hi: usize) -> Range<usize> {
+        let r = partition(hi - lo, self.n, self.tid);
+        lo + r.start..lo + r.end
+    }
+
+    /// Block until every thread of the region has arrived.
+    ///
+    /// Sense-reversing (generation-counted) barrier; a no-op on the serial
+    /// path.
+    pub fn barrier(&self) {
+        let Some(inner) = self.team else { return };
+        let mut st = inner.barrier.lock();
+        st.count += 1;
+        if st.count == inner.n {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            inner.barrier_cv.notify_all();
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                inner.barrier_cv.wait(&mut st);
+            }
+        }
+    }
+
+    /// True if this rank is the region's rank 0 ("master section").
+    #[inline(always)]
+    pub fn is_root(&self) -> bool {
+        self.tid == 0
+    }
+}
+
+impl Team {
+    /// Spawn a team of `n` persistent workers (`n >= 1`).
+    pub fn new(n: usize) -> Team {
+        assert!(n >= 1, "a team needs at least one worker");
+        let inner = Arc::new(Inner {
+            n,
+            job: Mutex::new(JobSlot {
+                epoch: 0,
+                remaining: 0,
+                task: None,
+                panicked: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            barrier: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            barrier_cv: Condvar::new(),
+        });
+        let handles = (0..n)
+            .map(|tid| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("npb-worker-{tid}"))
+                    .spawn(move || worker_loop(&inner, tid))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Team { inner, handles }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Run `f` on every worker as one parallel region.
+    ///
+    /// The master publishes the task, wakes the workers (`notify_all`),
+    /// and blocks until all have finished — the exact master–worker
+    /// protocol of the paper. Panics inside `f` are caught on the workers
+    /// and re-raised here once the region has drained.
+    pub fn exec<F>(&self, f: F)
+    where
+        F: Fn(Par<'_>) + Sync,
+    {
+        let inner: &Inner = &self.inner;
+        let wrapper = move |tid: usize| {
+            f(Par { tid, n: inner.n, team: Some(inner) });
+        };
+        let obj: &(dyn Fn(usize) + Sync) = &wrapper;
+        // SAFETY: we erase the lifetime of `obj`, but `exec` does not
+        // return until `remaining == 0`, i.e. until no worker can still
+        // dereference the pointer.
+        let obj: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(obj) };
+
+        let mut job = self.inner.job.lock();
+        debug_assert!(job.remaining == 0 && job.task.is_none(), "exec is not reentrant");
+        job.task = Some(TaskPtr(obj as *const _));
+        job.epoch = job.epoch.wrapping_add(1);
+        job.remaining = inner.n;
+        job.panicked = 0;
+        self.inner.work_cv.notify_all();
+        while job.remaining != 0 {
+            self.inner.done_cv.wait(&mut job);
+        }
+        job.task = None;
+        let panicked = job.panicked;
+        drop(job);
+        if panicked > 0 {
+            panic!("{panicked} worker thread(s) panicked inside a parallel region");
+        }
+    }
+
+    /// Run `f(tid)` on every worker and sum `f`'s returns in rank order.
+    pub fn reduce_sum<F>(&self, f: F) -> f64
+    where
+        F: Fn(Par<'_>) -> f64 + Sync,
+    {
+        let partials = crate::Partials::new(self.size());
+        self.exec(|p| {
+            let v = f(p);
+            partials.set(p.tid(), v);
+        });
+        partials.sum()
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        {
+            let mut job = self.inner.job.lock();
+            job.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Blocked state: wait for the master's notify (new epoch).
+        let task = {
+            let mut job = inner.job.lock();
+            while job.epoch == seen_epoch && !job.shutdown {
+                inner.work_cv.wait(&mut job);
+            }
+            if job.shutdown {
+                return;
+            }
+            seen_epoch = job.epoch;
+            job.task.expect("woken without a task")
+        };
+        // Runnable state: execute the region body.
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            (unsafe { &*task.0 })(tid);
+        }));
+        let mut job = inner.job.lock();
+        if res.is_err() {
+            job.panicked += 1;
+        }
+        job.remaining -= 1;
+        if job.remaining == 0 {
+            inner.done_cv.notify_one();
+        }
+    }
+}
+
+/// Run `f` either serially on the calling thread (`team == None`) or as a
+/// parallel region on the team.
+///
+/// This is the single entry point kernels use, so "Serial" and
+/// "`n` threads" rows of the paper's tables execute the *same* numerical
+/// code.
+pub fn run_par<F>(team: Option<&Team>, f: F)
+where
+    F: Fn(Par<'_>) + Sync,
+{
+    match team {
+        None => f(Par::serial()),
+        Some(t) => t.exec(f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Partials, SharedMut};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_context() {
+        let p = Par::serial();
+        assert_eq!(p.tid(), 0);
+        assert_eq!(p.num_threads(), 1);
+        assert_eq!(p.range(10), 0..10);
+        p.barrier(); // no-op
+        assert!(p.is_root());
+    }
+
+    #[test]
+    fn every_worker_runs_the_region() {
+        let team = Team::new(4);
+        let hits = AtomicUsize::new(0);
+        team.exec(|p| {
+            assert_eq!(p.num_threads(), 4);
+            hits.fetch_add(1 << (8 * p.tid()), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0x01010101);
+    }
+
+    #[test]
+    fn regions_run_in_sequence() {
+        let team = Team::new(3);
+        let counter = AtomicUsize::new(0);
+        for i in 0..50 {
+            team.exec(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), (i + 1) * 3);
+        }
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let team = Team::new(4);
+        let n = 64;
+        let mut a = vec![0usize; n];
+        let mut b = vec![0usize; n];
+        let sa = unsafe { SharedMut::new(&mut a) };
+        let sb = unsafe { SharedMut::new(&mut b) };
+        team.exec(|p| {
+            for i in p.range(n) {
+                sa.set::<true>(i, i + 1);
+            }
+            p.barrier();
+            // Reverse-reads the other threads' writes; only correct if
+            // the barrier is a real barrier.
+            for i in p.range(n) {
+                sb.set::<true>(i, sa.get::<true>(n - 1 - i));
+            }
+        });
+        drop(sa);
+        drop(sb);
+        for i in 0..n {
+            assert_eq!(b[i], n - i);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_is_deterministic_and_correct() {
+        let team = Team::new(4);
+        let n = 1000usize;
+        let s = team.reduce_sum(|p| p.range(n).map(|i| i as f64).sum());
+        assert_eq!(s, (n * (n - 1) / 2) as f64);
+        let s2 = team.reduce_sum(|p| p.range(n).map(|i| i as f64).sum());
+        assert_eq!(s.to_bits(), s2.to_bits());
+    }
+
+    #[test]
+    fn partials_with_team() {
+        let team = Team::new(3);
+        let partials = Partials::new(3);
+        team.exec(|p| {
+            partials.set(p.tid(), (p.tid() + 1) as f64);
+        });
+        assert_eq!(partials.sum(), 6.0);
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_not_deadlocked() {
+        let team = Team::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            team.exec(|p| {
+                if p.tid() == 1 {
+                    panic!("injected failure");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // The team must still be usable after a failed region.
+        let ok = AtomicUsize::new(0);
+        team.exec(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_par_serial_and_team_agree() {
+        let n = 128;
+        let compute = |team: Option<&Team>| {
+            let mut out = vec![0.0f64; n];
+            let s = unsafe { SharedMut::new(&mut out) };
+            run_par(team, |p| {
+                for i in p.range(n) {
+                    s.set::<true>(i, (i * i) as f64);
+                }
+            });
+            drop(s);
+            out
+        };
+        let serial = compute(None);
+        let team = Team::new(4);
+        let parallel = compute(Some(&team));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn team_of_one_matches_serial() {
+        let team = Team::new(1);
+        let s = team.reduce_sum(|p| {
+            assert_eq!(p.num_threads(), 1);
+            42.0
+        });
+        assert_eq!(s, 42.0);
+    }
+
+    #[test]
+    fn many_barriers_do_not_wedge() {
+        let team = Team::new(4);
+        team.exec(|p| {
+            for _ in 0..1000 {
+                p.barrier();
+            }
+        });
+    }
+}

@@ -1,0 +1,214 @@
+//! The block-diagonal eigenvector transforms of SP's diagonalized ADI:
+//! `txinvr` (into characteristic variables before the x sweep), `ninvr`
+//! / `pinvr` (rotations between sweeps), `tzetar` (back to conserved
+//! variables after the z sweep).
+
+use npb_cfd_common::{idx, idx5, Consts, Fields};
+use npb_runtime::{run_par, SharedMut, Team};
+
+/// `txinvr`: multiply the RHS by T_ξ⁻¹ P.
+pub fn txinvr<const SAFE: bool>(f: &mut Fields, c: &Consts, team: Option<&Team>) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let rho_i: &[f64] = &f.rho_i;
+    let us: &[f64] = &f.us;
+    let vs: &[f64] = &f.vs;
+    let ws: &[f64] = &f.ws;
+    let qs: &[f64] = &f.qs;
+    let speed: &[f64] = &f.speed;
+    let rhs = unsafe { SharedMut::new(&mut f.rhs) };
+    run_par(team, |par| {
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let s = idx(nx, ny, i, j, k);
+                    let ru1 = npb_core::ld::<_, SAFE>(rho_i, s);
+                    let uu = npb_core::ld::<_, SAFE>(us, s);
+                    let vv = npb_core::ld::<_, SAFE>(vs, s);
+                    let ww = npb_core::ld::<_, SAFE>(ws, s);
+                    let ac = npb_core::ld::<_, SAFE>(speed, s);
+                    let ac2inv = ac * ac;
+
+                    let r1 = rhs.get::<SAFE>(idx5(nx, ny, 0, i, j, k));
+                    let r2 = rhs.get::<SAFE>(idx5(nx, ny, 1, i, j, k));
+                    let r3 = rhs.get::<SAFE>(idx5(nx, ny, 2, i, j, k));
+                    let r4 = rhs.get::<SAFE>(idx5(nx, ny, 3, i, j, k));
+                    let r5 = rhs.get::<SAFE>(idx5(nx, ny, 4, i, j, k));
+
+                    let t1 = c.c2 / ac2inv
+                        * (npb_core::ld::<_, SAFE>(qs, s) * r1 - uu * r2 - vv * r3 - ww * r4
+                            + r5);
+                    let t2 = c.bt * ru1 * (uu * r1 - r2);
+                    let t3 = (c.bt * ru1 * ac) * t1;
+
+                    rhs.set::<SAFE>(idx5(nx, ny, 0, i, j, k), r1 - t1);
+                    rhs.set::<SAFE>(idx5(nx, ny, 1, i, j, k), -ru1 * (ww * r1 - r4));
+                    rhs.set::<SAFE>(idx5(nx, ny, 2, i, j, k), ru1 * (vv * r1 - r3));
+                    rhs.set::<SAFE>(idx5(nx, ny, 3, i, j, k), -t2 + t3);
+                    rhs.set::<SAFE>(idx5(nx, ny, 4, i, j, k), t2 + t3);
+                }
+            }
+        }
+    });
+}
+
+/// `ninvr`: block-diagonal rotation applied after the x sweep.
+pub fn ninvr<const SAFE: bool>(f: &mut Fields, c: &Consts, team: Option<&Team>) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let rhs = unsafe { SharedMut::new(&mut f.rhs) };
+    run_par(team, |par| {
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let r1 = rhs.get::<SAFE>(idx5(nx, ny, 0, i, j, k));
+                    let r2 = rhs.get::<SAFE>(idx5(nx, ny, 1, i, j, k));
+                    let r3 = rhs.get::<SAFE>(idx5(nx, ny, 2, i, j, k));
+                    let r4 = rhs.get::<SAFE>(idx5(nx, ny, 3, i, j, k));
+                    let r5 = rhs.get::<SAFE>(idx5(nx, ny, 4, i, j, k));
+
+                    let t1 = c.bt * r3;
+                    let t2 = 0.5 * (r4 + r5);
+
+                    rhs.set::<SAFE>(idx5(nx, ny, 0, i, j, k), -r2);
+                    rhs.set::<SAFE>(idx5(nx, ny, 1, i, j, k), r1);
+                    rhs.set::<SAFE>(idx5(nx, ny, 2, i, j, k), c.bt * (r4 - r5));
+                    rhs.set::<SAFE>(idx5(nx, ny, 3, i, j, k), -t1 + t2);
+                    rhs.set::<SAFE>(idx5(nx, ny, 4, i, j, k), t1 + t2);
+                }
+            }
+        }
+    });
+}
+
+/// `pinvr`: block-diagonal rotation applied after the y sweep.
+pub fn pinvr<const SAFE: bool>(f: &mut Fields, c: &Consts, team: Option<&Team>) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let rhs = unsafe { SharedMut::new(&mut f.rhs) };
+    run_par(team, |par| {
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let r1 = rhs.get::<SAFE>(idx5(nx, ny, 0, i, j, k));
+                    let r2 = rhs.get::<SAFE>(idx5(nx, ny, 1, i, j, k));
+                    let r3 = rhs.get::<SAFE>(idx5(nx, ny, 2, i, j, k));
+                    let r4 = rhs.get::<SAFE>(idx5(nx, ny, 3, i, j, k));
+                    let r5 = rhs.get::<SAFE>(idx5(nx, ny, 4, i, j, k));
+
+                    let t1 = c.bt * r1;
+                    let t2 = 0.5 * (r4 + r5);
+
+                    rhs.set::<SAFE>(idx5(nx, ny, 0, i, j, k), c.bt * (r4 - r5));
+                    rhs.set::<SAFE>(idx5(nx, ny, 1, i, j, k), -r3);
+                    rhs.set::<SAFE>(idx5(nx, ny, 2, i, j, k), r2);
+                    rhs.set::<SAFE>(idx5(nx, ny, 3, i, j, k), -t1 + t2);
+                    rhs.set::<SAFE>(idx5(nx, ny, 4, i, j, k), t1 + t2);
+                }
+            }
+        }
+    });
+}
+
+/// `tzetar`: transform back to conserved-variable increments after the
+/// z sweep.
+pub fn tzetar<const SAFE: bool>(f: &mut Fields, c: &Consts, team: Option<&Team>) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let us: &[f64] = &f.us;
+    let vs: &[f64] = &f.vs;
+    let ws: &[f64] = &f.ws;
+    let qs: &[f64] = &f.qs;
+    let speed: &[f64] = &f.speed;
+    let u: &[f64] = &f.u;
+    let rhs = unsafe { SharedMut::new(&mut f.rhs) };
+    run_par(team, |par| {
+        for k in par.range_of(1, nz - 1) {
+            for j in 1..ny - 1 {
+                for i in 1..nx - 1 {
+                    let s = idx(nx, ny, i, j, k);
+                    let xvel = npb_core::ld::<_, SAFE>(us, s);
+                    let yvel = npb_core::ld::<_, SAFE>(vs, s);
+                    let zvel = npb_core::ld::<_, SAFE>(ws, s);
+                    let ac = npb_core::ld::<_, SAFE>(speed, s);
+                    let ac2u = ac * ac;
+
+                    let r1 = rhs.get::<SAFE>(idx5(nx, ny, 0, i, j, k));
+                    let r2 = rhs.get::<SAFE>(idx5(nx, ny, 1, i, j, k));
+                    let r3 = rhs.get::<SAFE>(idx5(nx, ny, 2, i, j, k));
+                    let r4 = rhs.get::<SAFE>(idx5(nx, ny, 3, i, j, k));
+                    let r5 = rhs.get::<SAFE>(idx5(nx, ny, 4, i, j, k));
+
+                    let uzik1 = npb_core::ld::<_, SAFE>(u, idx5(nx, ny, 0, i, j, k));
+                    let btuz = c.bt * uzik1;
+
+                    let t1 = btuz / ac * (r4 + r5);
+                    let t2 = r3 + t1;
+                    let t3 = btuz * (r4 - r5);
+
+                    rhs.set::<SAFE>(idx5(nx, ny, 0, i, j, k), t2);
+                    rhs.set::<SAFE>(idx5(nx, ny, 1, i, j, k), -uzik1 * r2 + xvel * t2);
+                    rhs.set::<SAFE>(idx5(nx, ny, 2, i, j, k), uzik1 * r1 + yvel * t2);
+                    rhs.set::<SAFE>(idx5(nx, ny, 3, i, j, k), zvel * t2 + t3);
+                    rhs.set::<SAFE>(
+                        idx5(nx, ny, 4, i, j, k),
+                        uzik1 * (-xvel * r2 + yvel * r1)
+                            + npb_core::ld::<_, SAFE>(qs, s) * t2
+                            + c.c2iv * ac2u * t1
+                            + zvel * t3,
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npb_cfd_common::{compute_rhs, exact_rhs, initialize};
+
+    fn setup() -> (Fields, Consts) {
+        let c = Consts::new(10, 10, 10, 0.015);
+        let mut f = Fields::new(10, 10, 10);
+        initialize(&mut f, &c);
+        exact_rhs(&mut f, &c);
+        compute_rhs::<false, true>(&mut f, &c, None);
+        (f, c)
+    }
+
+    #[test]
+    fn ninvr_then_its_inverse_relation() {
+        // ninvr is an orthogonal-ish rotation: applying it four times
+        // must give the identity on components (1,2) (a quarter-turn in
+        // that plane) — spot-check the structure instead: two
+        // applications negate r1, r2.
+        let (mut f, c) = setup();
+        let id1 = f.idx5(0, 4, 4, 4);
+        let id2 = f.idx5(1, 4, 4, 4);
+        let (r1, r2) = (f.rhs[id1], f.rhs[id2]);
+        ninvr::<false>(&mut f, &c, None);
+        ninvr::<false>(&mut f, &c, None);
+        assert!((f.rhs[id1] + r1).abs() < 1e-14);
+        assert!((f.rhs[id2] + r2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn transforms_preserve_boundary() {
+        let (mut f, c) = setup();
+        let before: Vec<f64> = (0..5).map(|m| f.rhs[f.idx5(m, 0, 5, 5)]).collect();
+        txinvr::<false>(&mut f, &c, None);
+        ninvr::<false>(&mut f, &c, None);
+        pinvr::<false>(&mut f, &c, None);
+        tzetar::<false>(&mut f, &c, None);
+        for m in 0..5 {
+            assert_eq!(f.rhs[f.idx5(m, 0, 5, 5)], before[m]);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (mut fs, c) = setup();
+        let (mut fp, _) = setup();
+        txinvr::<false>(&mut fs, &c, None);
+        let team = npb_runtime::Team::new(3);
+        txinvr::<false>(&mut fp, &c, Some(&team));
+        assert_eq!(fs.rhs, fp.rhs);
+    }
+}

@@ -1,0 +1,179 @@
+//! # npb-sp — the NPB "Scalar Pentadiagonal" pseudo-application
+//!
+//! Solves the 3-D compressible Navier–Stokes system with the
+//! Beam–Warming approximate factorization: the implicit operator is
+//! diagonalized per direction, so each ADI sweep reduces to independent
+//! *scalar pentadiagonal* line solves (three operators: the convective
+//! eigenvalue and the two acoustic eigenvalues), bracketed by the
+//! block-diagonal eigenvector transforms of [`inv`].
+//!
+//! One of the paper's three "simulated CFD applications"; the x/y sweeps
+//! parallelize over the outermost grid plane and the z sweep over the
+//! middle one, exactly like the OpenMP prototype the Java port copied.
+
+pub mod inv;
+mod params;
+pub mod solve;
+
+pub use params::{reference, SpParams};
+
+use npb_cfd_common::{
+    add, compute_rhs, error_norm, exact_rhs, initialize, rhs_norm, verify_norms, Consts, Fields,
+};
+use npb_core::{BenchReport, Class, Style, Verified};
+use npb_runtime::Team;
+
+/// SP benchmark instance.
+pub struct SpState {
+    /// Problem parameters.
+    pub p: SpParams,
+    /// Discretization constants.
+    pub consts: Consts,
+    /// Field storage.
+    pub fields: Fields,
+}
+
+/// Outcome of a full SP run.
+#[derive(Debug, Clone, Copy)]
+pub struct SpOutcome {
+    /// Residual norms divided by dt (`xcr`).
+    pub xcr: [f64; 5],
+    /// Error norms (`xce`).
+    pub xce: [f64; 5],
+    /// Seconds in the timed section.
+    pub secs: f64,
+}
+
+impl SpState {
+    /// Set up the problem for `class`.
+    pub fn new(class: Class) -> SpState {
+        let p = SpParams::for_class(class);
+        let consts = Consts::new(p.n, p.n, p.n, p.dt);
+        let fields = Fields::new(p.n, p.n, p.n);
+        SpState { p, consts, fields }
+    }
+
+    /// One ADI time step.
+    pub fn adi<const SAFE: bool>(&mut self, team: Option<&Team>) {
+        compute_rhs::<SAFE, true>(&mut self.fields, &self.consts, team);
+        inv::txinvr::<SAFE>(&mut self.fields, &self.consts, team);
+        solve::x_solve::<SAFE>(&mut self.fields, &self.consts, team);
+        inv::ninvr::<SAFE>(&mut self.fields, &self.consts, team);
+        solve::y_solve::<SAFE>(&mut self.fields, &self.consts, team);
+        inv::pinvr::<SAFE>(&mut self.fields, &self.consts, team);
+        solve::z_solve::<SAFE>(&mut self.fields, &self.consts, team);
+        inv::tzetar::<SAFE>(&mut self.fields, &self.consts, team);
+        add::<SAFE>(&mut self.fields, team);
+    }
+
+    /// Full benchmark: initialize, one untimed warm-up step,
+    /// re-initialize, `niter` timed steps, verification norms.
+    pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> SpOutcome {
+        initialize(&mut self.fields, &self.consts);
+        exact_rhs(&mut self.fields, &self.consts);
+        self.adi::<SAFE>(team);
+        initialize(&mut self.fields, &self.consts);
+
+        let t0 = std::time::Instant::now();
+        for _step in 0..self.p.niter {
+            self.adi::<SAFE>(team);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+
+        let xce = error_norm(&self.fields, &self.consts);
+        compute_rhs::<SAFE, true>(&mut self.fields, &self.consts, team);
+        let mut xcr = rhs_norm(&self.fields);
+        for m in 0..5 {
+            xcr[m] /= self.consts.dt;
+        }
+        SpOutcome { xcr, xce, secs }
+    }
+}
+
+/// Verify against the published class references.
+pub fn verify(class: Class, out: &SpOutcome) -> Verified {
+    let set = reference(class);
+    verify_norms(set.as_ref(), SpParams::for_class(class).dt, &out.xcr, &out.xce)
+}
+
+/// Run the SP benchmark and produce the standard report.
+pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    let mut st = SpState::new(class);
+    let out = match style {
+        Style::Opt => st.run::<false>(team),
+        Style::Safe => st.run::<true>(team),
+    };
+    BenchReport {
+        name: "SP",
+        class,
+        size: (st.p.n, st.p.n, st.p.n),
+        niter: st.p.niter,
+        time_secs: out.secs,
+        mops: st.p.mops(out.secs),
+        threads: team.map_or(0, Team::size),
+        style,
+        verified: verify(class, &out),
+    }
+}
+
+/// Run and return the raw norms (tests / harness).
+pub fn run_raw(class: Class, style: Style, team: Option<&Team>) -> SpOutcome {
+    let mut st = SpState::new(class);
+    match style {
+        Style::Opt => st.run::<false>(team),
+        Style::Safe => st.run::<true>(team),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_matches_published_reference() {
+        let out = run_raw(Class::S, Style::Opt, None);
+        assert_eq!(
+            verify(Class::S, &out),
+            Verified::Success,
+            "xcr = {:?}\nxce = {:?}",
+            out.xcr,
+            out.xce
+        );
+    }
+
+    #[test]
+    fn safe_style_matches_opt_bitwise() {
+        let a = run_raw(Class::S, Style::Opt, None);
+        let b = run_raw(Class::S, Style::Safe, None);
+        assert_eq!(a.xcr, b.xcr);
+        assert_eq!(a.xce, b.xce);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // SP has no cross-thread reductions in the timed loop, so the
+        // fields are bit-identical for any team size.
+        let serial = run_raw(Class::S, Style::Opt, None);
+        for n in [2usize, 4] {
+            let team = Team::new(n);
+            let par = run_raw(Class::S, Style::Opt, Some(&team));
+            assert_eq!(par.xcr, serial.xcr, "{n} threads");
+            assert_eq!(par.xce, serial.xce, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn solution_error_decreases_from_initial_state() {
+        let mut st = SpState::new(Class::S);
+        initialize(&mut st.fields, &st.consts);
+        exact_rhs(&mut st.fields, &st.consts);
+        let e0 = error_norm(&st.fields, &st.consts);
+        for _ in 0..20 {
+            st.adi::<false>(None);
+        }
+        let e1 = error_norm(&st.fields, &st.consts);
+        for m in 0..5 {
+            assert!(e1[m] < e0[m], "component {m}: {} -> {}", e0[m], e1[m]);
+        }
+    }
+}

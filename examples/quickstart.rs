@@ -1,0 +1,32 @@
+//! Quickstart: run one NPB kernel serially and with a worker team, and
+//! print the standard NPB banner plus the thread-overhead ratio the
+//! paper reports in its scalability tables.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use npb::{run_benchmark, Class, Style};
+
+fn main() {
+    // Serial run — the "Serial" column of the paper's tables.
+    let serial = run_benchmark("CG", Class::S, Style::Opt, 0).expect("known benchmark");
+    println!("{}", serial.banner());
+
+    // Master-worker run with two threads — the "2" column.
+    let threaded = run_benchmark("CG", Class::S, Style::Opt, 2).expect("known benchmark");
+    println!("{}", threaded.banner());
+
+    assert!(serial.verified.is_success());
+    assert!(threaded.verified.is_success());
+
+    println!(
+        "thread overhead (2 threads vs serial on this host): {:.2}x",
+        threaded.time_secs / serial.time_secs
+    );
+    println!(
+        "paper's observation: multithreading costs ~10-20% overhead; speedup \
+         requires real processors (this reproduces the structure, the wall \
+         clock depends on your machine)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Command-line runner for the NPB suite.
+//!
+//! ```text
+//! npb <BENCH|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]
+//! ```
+//!
+//! `--threads 0` (default) is the pure serial path.
+
+use npb::{run_benchmark, Class, Style, BENCHMARKS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: npb <{}|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]",
+        BENCHMARKS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut which = args[0].clone();
+    let mut class = Class::S;
+    let mut style = Style::Opt;
+    let mut threads = 0usize;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().cloned().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--class" | "-c" => class = val(&mut it).parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            }),
+            "--style" | "-s" => style = val(&mut it).parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            }),
+            "--threads" | "-t" => threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    which.make_ascii_uppercase();
+    let list: Vec<&str> =
+        if which == "ALL" { BENCHMARKS.to_vec() } else { vec![which.as_str()] };
+
+    let mut failed = false;
+    for name in list {
+        match run_benchmark(name, class, style, threads) {
+            Ok(report) => {
+                println!("{}", report.banner());
+                failed |= !report.verified.is_success()
+                    && report.verified != npb::Verified::NotPerformed;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,86 @@
+//! # npb — the NAS Parallel Benchmarks in Rust
+//!
+//! A from-scratch Rust reproduction of the system described in Frumkin,
+//! Schultz, Jin & Yan, *"Performance and Scalability of the NAS Parallel
+//! Benchmarks in Java"* (IPPS 2003): the complete NPB suite (the three
+//! simulated CFD applications BT, SP, LU and the kernels FT, MG, CG, IS,
+//! EP), parallelized with the paper's master–worker thread model, plus
+//! the paper's measurement harnesses (basic CFD operations, the Java
+//! Grande `lufact` analysis).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use npb::{run_benchmark, Class, Style};
+//!
+//! let report = run_benchmark("CG", Class::S, Style::Opt, 2).unwrap();
+//! assert!(report.verified.is_success());
+//! println!("{}", report.banner());
+//! ```
+//!
+//! `threads = 0` selects the pure serial path (no team, the "Serial"
+//! column of the paper's tables); `threads >= 1` spawns that many
+//! persistent workers.
+
+pub use npb_core::{BenchReport, Class, Style, Verified};
+pub use npb_runtime::{Par, Partials, SharedMut, Team};
+
+/// All benchmark names, in the paper's table order.
+pub const BENCHMARKS: [&str; 8] = ["BT", "SP", "LU", "FT", "IS", "CG", "MG", "EP"];
+
+/// Error for unknown benchmark names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark(pub String);
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark {:?} (expected one of {:?})", self.0, BENCHMARKS)
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+/// Run one benchmark by name.
+///
+/// `threads == 0` runs the serial path; otherwise a fresh [`Team`] of
+/// `threads` persistent workers executes the parallel regions (spawn and
+/// join time is excluded from the benchmark's own timed section but
+/// included in this call).
+pub fn run_benchmark(
+    name: &str,
+    class: Class,
+    style: Style,
+    threads: usize,
+) -> Result<BenchReport, UnknownBenchmark> {
+    let team = if threads == 0 { None } else { Some(Team::new(threads)) };
+    let t = team.as_ref();
+    let report = match name.to_ascii_uppercase().as_str() {
+        "BT" => npb_bt::run(class, style, t),
+        "SP" => npb_sp::run(class, style, t),
+        "LU" => npb_lu::run(class, style, t),
+        "FT" => npb_ft::run(class, style, t),
+        "IS" => npb_is::run(class, style, t),
+        "CG" => npb_cg::run(class, style, t),
+        "MG" => npb_mg::run(class, style, t),
+        "EP" => npb_ep::run(class, style, t),
+        other => return Err(UnknownBenchmark(other.to_string())),
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        assert!(run_benchmark("ZZ", Class::S, Style::Opt, 0).is_err());
+    }
+
+    #[test]
+    fn dispatch_runs_the_named_benchmark() {
+        let r = run_benchmark("ep", Class::S, Style::Opt, 0).unwrap();
+        assert_eq!(r.name, "EP");
+        assert!(r.verified.is_success());
+    }
+}

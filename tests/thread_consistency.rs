@@ -1,0 +1,58 @@
+//! Integration: numerical results are independent of the team size.
+//!
+//! The structured-grid benchmarks have no cross-thread reductions in
+//! their timed loops, so their verification quantities reproduce
+//! bitwise at any thread count; the reduction-carrying kernels (CG, EP,
+//! MG's final norm) stay within the NPB verification tolerance.
+
+use npb::{Class, Style, Team};
+
+#[test]
+fn bt_norms_bitwise_across_team_sizes() {
+    let base = npb_bt::run_raw(Class::S, Style::Opt, None);
+    for n in [1usize, 3] {
+        let team = Team::new(n);
+        let r = npb_bt::run_raw(Class::S, Style::Opt, Some(&team));
+        assert_eq!(r.xcr, base.xcr, "{n} threads");
+        assert_eq!(r.xce, base.xce, "{n} threads");
+    }
+}
+
+#[test]
+fn lu_pipelined_wavefront_bitwise_across_team_sizes() {
+    let base = npb_lu::run_raw(Class::S, Style::Opt, None);
+    let team = Team::new(3);
+    let r = npb_lu::run_raw(Class::S, Style::Opt, Some(&team));
+    assert_eq!(r.xcr, base.xcr);
+    assert_eq!(r.xci, base.xci);
+}
+
+#[test]
+fn ft_checksums_bitwise_across_team_sizes() {
+    let base = npb_ft::run_raw(Class::S, Style::Opt, None);
+    let team = Team::new(4);
+    let r = npb_ft::run_raw(Class::S, Style::Opt, Some(&team));
+    assert_eq!(r.sums, base.sums);
+}
+
+#[test]
+fn cg_zeta_within_tolerance_across_team_sizes() {
+    let base = npb_cg::run_raw(Class::S, Style::Opt, None);
+    for n in [2usize, 5] {
+        let team = Team::new(n);
+        let r = npb_cg::run_raw(Class::S, Style::Opt, Some(&team));
+        let rel = ((r.zeta - base.zeta) / base.zeta).abs();
+        assert!(rel < 1e-12, "{n} threads: rel = {rel}");
+    }
+}
+
+#[test]
+fn one_team_can_serve_many_benchmarks_in_sequence() {
+    // The persistent master-worker team survives across whole benchmark
+    // runs, as the paper's long-lived Java threads do.
+    let team = Team::new(2);
+    let a = npb_mg::run(Class::S, Style::Opt, Some(&team));
+    let b = npb_is::run(Class::S, Style::Opt, Some(&team));
+    let c = npb_cg::run(Class::S, Style::Safe, Some(&team));
+    assert!(a.verified.is_success() && b.verified.is_success() && c.verified.is_success());
+}
