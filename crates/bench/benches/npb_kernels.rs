@@ -1,9 +1,9 @@
-//! Criterion group regenerating the **Tables 2–6** axis on class S:
+//! Bench group (in-tree microbench harness) regenerating the **Tables 2–6** axis on class S:
 //! every benchmark, opt ("Fortran") vs safe ("Java") style, serial vs a
 //! 2-thread team. Run the `table2_4` / `table5_6` binaries for the full
 //! thread sweeps and larger classes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use npb_bench::microbench::Criterion;
 use npb_core::{Class, Style};
 use npb_runtime::Team;
 
@@ -58,5 +58,7 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_kernels(&mut c);
+}

@@ -1,9 +1,9 @@
-//! Criterion group regenerating **Table 1**: the five basic CFD
+//! Bench group (in-tree microbench harness) regenerating **Table 1**: the five basic CFD
 //! operations, opt vs safe vs shape-preserving, serial vs 2 threads.
 //! A reduced grid keeps `cargo bench` tractable on one core; run the
 //! `table1` binary for the paper's full 81×81×100 grid.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use npb_bench::microbench::Criterion;
 use npb_cfd_ops::{run_linearized, run_multidim, Op, OpConfig};
 use npb_runtime::Team;
 
@@ -31,5 +31,7 @@ fn bench_table1(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_table1(&mut c);
+}

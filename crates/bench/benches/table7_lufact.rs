@@ -1,8 +1,8 @@
-//! Criterion group regenerating **Table 7**: `lufact` (BLAS-1 `dgefa`)
+//! Bench group (in-tree microbench harness) regenerating **Table 7**: `lufact` (BLAS-1 `dgefa`)
 //! in Java/Fortran styles vs the blocked LU, at the paper's class A
 //! size (n = 500). The `table7` binary covers n = 1000 and 2000.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use npb_bench::microbench::Criterion;
 use npb_jgf::{dgefa, getrf_blocked, Matrix};
 
 fn bench_lufact(c: &mut Criterion) {
@@ -16,25 +16,27 @@ fn bench_lufact(c: &mut Criterion) {
         b.iter_batched(
             || base.clone(),
             |mut m| dgefa::<true>(&mut m),
-            criterion::BatchSize::LargeInput,
+            npb_bench::microbench::BatchSize::LargeInput,
         )
     });
     g.bench_function("dgefa/fortran_style", |b| {
         b.iter_batched(
             || base.clone(),
             |mut m| dgefa::<false>(&mut m),
-            criterion::BatchSize::LargeInput,
+            npb_bench::microbench::BatchSize::LargeInput,
         )
     });
     g.bench_function("getrf_blocked/nb64", |b| {
         b.iter_batched(
             || base.clone(),
             |mut m| getrf_blocked::<false>(&mut m, 64),
-            criterion::BatchSize::LargeInput,
+            npb_bench::microbench::BatchSize::LargeInput,
         )
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_lufact);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_lufact(&mut c);
+}

@@ -29,7 +29,7 @@ fn main() {
     );
     // Best of three runs per cell: the first touch of each buffer pays
     // page faults that would otherwise dominate these sub-10ms kernels.
-    fn best<T>(mut f: impl FnMut() -> npb_cfd_ops::OpResult) -> npb_cfd_ops::OpResult {
+    fn best(mut f: impl FnMut() -> npb_cfd_ops::OpResult) -> npb_cfd_ops::OpResult {
         let mut r = f();
         for _ in 0..2 {
             let n = f();
@@ -40,9 +40,9 @@ fn main() {
         r
     }
     for op in Op::ALL {
-        let opt = best::<()>(|| run_linearized::<false>(op, &cfg, None));
-        let safe = best::<()>(|| run_linearized::<true>(op, &cfg, None));
-        let multi = best::<()>(|| run_multidim(op, &cfg));
+        let opt = best(|| run_linearized::<false>(op, &cfg, None));
+        let safe = best(|| run_linearized::<true>(op, &cfg, None));
+        let multi = best(|| run_multidim(op, &cfg));
         let mut line = format!(
             "{:<34} {:>10.4} {:>10.4} {:>10.4} ",
             op.label(),
@@ -51,7 +51,7 @@ fn main() {
             multi.secs
         );
         for &t in &args.threads {
-            let r = best::<()>(|| with_team(t, |team| run_linearized::<false>(op, &cfg, team)));
+            let r = best(|| with_team(t, |team| run_linearized::<false>(op, &cfg, team)));
             line.push_str(&format!(" {}={:.4}", ttag(t), r.secs));
         }
         println!("{line}");

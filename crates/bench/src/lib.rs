@@ -1,5 +1,7 @@
 //! Shared helpers for the table harness binaries.
 
+pub mod microbench;
+
 use npb_core::{BenchReport, Class, Style};
 use npb_runtime::Team;
 

@@ -1,0 +1,182 @@
+//! A minimal, dependency-free stand-in for the criterion API surface the
+//! bench targets use.
+//!
+//! The hermetic offline build cannot reach crates.io, so the statistical
+//! benches run on this harness instead: same `benchmark_group` /
+//! `bench_function` / `iter` shape, samples timed with `std::time`,
+//! min / median / mean reported per benchmark id. It is deliberately
+//! small — for publication-grade statistics run criterion out-of-tree.
+
+use std::time::{Duration, Instant};
+
+/// Entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh harness with default settings.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _name: name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Batch-size hint, accepted for criterion source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is large; run one batch per sample.
+    LargeInput,
+    /// Setup output is small.
+    SmallInput,
+}
+
+/// One timed sample: the per-iteration wall time a bench closure records
+/// through [`Bencher::iter`] / [`Bencher::iter_batched`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (untimed result is black-boxed).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let t0 = Instant::now();
+        let v = f();
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+        std::hint::black_box(v);
+    }
+
+    /// Time one execution of `f` on a fresh untimed `setup` output.
+    pub fn iter_batched<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        let v = f(input);
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+        std::hint::black_box(v);
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    _name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget; sampling stops early when exhausted.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark and print its min / median / mean sample times.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        // Warm-up: run full samples until the budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters == 0 {
+                break; // closure never called iter; nothing to time
+            }
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if run_start.elapsed() > self.measurement && !samples.is_empty() {
+                break;
+            }
+        }
+        if samples.is_empty() {
+            println!("  {id:<40} (no samples)");
+            return self;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "  {id:<40} min {:>10.6}s  median {:>10.6}s  mean {:>10.6}s  ({} samples)",
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (criterion-compatible no-op).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_collected_and_positive() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..1000u64).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_body() {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.iters, 1);
+    }
+}

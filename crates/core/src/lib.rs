@@ -31,4 +31,4 @@ pub use class::Class;
 pub use random::{ipow46, randlc, vranlc, Randlc, RandlcInt, A_DEFAULT, SEED_DEFAULT};
 pub use report::BenchReport;
 pub use timer::Timers;
-pub use verify::{rel_err_ok, Verified};
+pub use verify::{arm_nan_corruption, nan_corruption_armed, rel_err_ok, Verified};

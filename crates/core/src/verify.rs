@@ -1,5 +1,32 @@
 //! Verification outcomes and the NPB relative-error comparison.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One-shot NaN fault: when armed, the next computed quantity offered to
+/// [`rel_err_ok`] is replaced by NaN before comparison. This is the
+/// verification end of the runtime's deterministic fault injection
+/// (`--inject nan:<seed>`): every kernel funnels its verification through
+/// this comparison, so arming here corrupts "the kernel's output" as seen
+/// by the verifier without touching any kernel.
+static NAN_CORRUPTION: AtomicBool = AtomicBool::new(false);
+
+/// Arm the one-shot NaN corruption of the next verified quantity.
+pub fn arm_nan_corruption() {
+    NAN_CORRUPTION.store(true, Ordering::SeqCst);
+}
+
+/// True while a NaN corruption is armed but not yet consumed.
+pub fn nan_corruption_armed() -> bool {
+    NAN_CORRUPTION.load(Ordering::SeqCst)
+}
+
+#[inline]
+fn take_nan_corruption() -> bool {
+    // Cheap relaxed fast path: verification runs after the timed section,
+    // but rel_err_ok is also called in tight test loops.
+    NAN_CORRUPTION.load(Ordering::Relaxed) && NAN_CORRUPTION.swap(false, Ordering::SeqCst)
+}
+
 /// Outcome of a benchmark's built-in verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verified {
@@ -35,6 +62,7 @@ impl Verified {
 /// A zero reference falls back to absolute error, as the Fortran does.
 #[inline]
 pub fn rel_err_ok(computed: f64, reference: f64, epsilon: f64) -> bool {
+    let computed = if take_nan_corruption() { f64::NAN } else { computed };
     let err = if reference != 0.0 {
         ((computed - reference) / reference).abs()
     } else {

@@ -204,40 +204,47 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use npb_core::Randlc;
 
-    fn arb_signal(max_log: u32) -> impl Strategy<Value = Vec<C64>> {
-        (1u32..=max_log).prop_flat_map(|m| {
-            let n = 1usize << m;
-            proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
-                .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
-        })
+    /// Deterministic pseudo-random signal of length `2^m`, drawn from the
+    /// NPB generator (values mapped into (-1, 1)).
+    fn seeded_signal(rng: &mut Randlc, m: u32) -> Vec<C64> {
+        (0..1usize << m)
+            .map(|_| c64(2.0 * rng.next_f64() - 1.0, 2.0 * rng.next_f64() - 1.0))
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Inverse(Forward(x)) == n * x for random signals of random
-        /// power-of-two lengths.
-        #[test]
-        fn inverse_undoes_forward(x0 in arb_signal(9)) {
-            let n = x0.len();
-            let table = FftTable::new(n.max(2));
-            let mut x = x0.clone();
-            let mut y = vec![C64::ZERO; n];
-            cfftz::<true>(1, n, &table, &mut x, &mut y);
-            cfftz::<true>(-1, n, &table, &mut x, &mut y);
-            let scale = 1.0 / n as f64;
-            for k in 0..n {
-                let got = x[k].scale(scale);
-                prop_assert!((got.re - x0[k].re).abs() < 1e-10);
-                prop_assert!((got.im - x0[k].im).abs() < 1e-10);
+    /// Inverse(Forward(x)) == n * x for seeded signals of every
+    /// power-of-two length up to 2^9.
+    #[test]
+    fn inverse_undoes_forward() {
+        let mut rng = Randlc::new(npb_core::SEED_DEFAULT);
+        for m in 1..=9u32 {
+            for _rep in 0..3 {
+                let x0 = seeded_signal(&mut rng, m);
+                let n = x0.len();
+                let table = FftTable::new(n.max(2));
+                let mut x = x0.clone();
+                let mut y = vec![C64::ZERO; n];
+                cfftz::<true>(1, n, &table, &mut x, &mut y);
+                cfftz::<true>(-1, n, &table, &mut x, &mut y);
+                let scale = 1.0 / n as f64;
+                for k in 0..n {
+                    let got = x[k].scale(scale);
+                    assert!((got.re - x0[k].re).abs() < 1e-10, "n {n}, k {k}");
+                    assert!((got.im - x0[k].im).abs() < 1e-10, "n {n}, k {k}");
+                }
             }
         }
+    }
 
-        /// Linearity: F(a x + y) == a F(x) + F(y).
-        #[test]
-        fn transform_is_linear(x0 in arb_signal(7), a in -2.0f64..2.0) {
+    /// Linearity: F(a x + y) == a F(x) + F(y).
+    #[test]
+    fn transform_is_linear() {
+        let mut rng = Randlc::new(npb_core::SEED_DEFAULT);
+        for m in 1..=7u32 {
+            let x0 = seeded_signal(&mut rng, m);
+            let a = 4.0 * rng.next_f64() - 2.0;
             let n = x0.len();
             let table = FftTable::new(n.max(2));
             let y0: Vec<C64> = (0..n).map(|i| c64((i as f64).cos(), 0.3)).collect();
@@ -251,14 +258,18 @@ mod proptests {
             cfftz::<true>(1, n, &table, &mut fy, &mut scratch);
             for k in 0..n {
                 let want = fx[k].scale(a) + fy[k];
-                prop_assert!((combo[k].re - want.re).abs() < 1e-9);
-                prop_assert!((combo[k].im - want.im).abs() < 1e-9);
+                assert!((combo[k].re - want.re).abs() < 1e-9, "n {n}, k {k}");
+                assert!((combo[k].im - want.im).abs() < 1e-9, "n {n}, k {k}");
             }
         }
+    }
 
-        /// Parseval: energy is preserved up to the 1/n convention.
-        #[test]
-        fn parseval(x0 in arb_signal(8)) {
+    /// Parseval: energy is preserved up to the 1/n convention.
+    #[test]
+    fn parseval() {
+        let mut rng = Randlc::new(npb_core::SEED_DEFAULT);
+        for m in 1..=8u32 {
+            let x0 = seeded_signal(&mut rng, m);
             let n = x0.len();
             let table = FftTable::new(n.max(2));
             let e0: f64 = x0.iter().map(|c| c.re * c.re + c.im * c.im).sum();
@@ -266,7 +277,7 @@ mod proptests {
             let mut y = vec![C64::ZERO; n];
             cfftz::<true>(1, n, &table, &mut x, &mut y);
             let e1: f64 = x.iter().map(|c| c.re * c.re + c.im * c.im).sum();
-            prop_assert!((e1 / n as f64 - e0).abs() <= 1e-9 * e0.max(1.0));
+            assert!((e1 / n as f64 - e0).abs() <= 1e-9 * e0.max(1.0), "n {n}");
         }
     }
 }

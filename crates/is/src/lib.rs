@@ -143,7 +143,7 @@ impl IsBench {
         // Partial verification against the published spot ranks.
         for i in 0..TEST_ARRAY_SIZE {
             let k = spot[i];
-            if 0 < k && (k as usize) <= nk - 1 {
+            if 0 < k && (k as usize) < nk {
                 let expected = self.p.expected_rank(self.class, i, iteration);
                 let got = self.counts[k as usize - 1] as i64;
                 if got == expected {
@@ -299,19 +299,19 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use npb_core::Randlc;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Counting-sort ranking invariants on arbitrary key sets: the
-        /// cumulative counts are monotone, end at the key count, and the
-        /// scatter produces a sorted permutation.
-        #[test]
-        fn ranking_sorts_arbitrary_keys(
-            keys in proptest::collection::vec(0i32..512, 1..4000)
-        ) {
-            let mk = 512usize;
+    /// Counting-sort ranking invariants on seeded key sets: the
+    /// cumulative counts are monotone, end at the key count, and the
+    /// scatter produces a sorted permutation.
+    #[test]
+    fn ranking_sorts_arbitrary_keys() {
+        let mk = 512usize;
+        let mut rng = Randlc::new(npb_core::SEED_DEFAULT);
+        for case in 0..24 {
+            let len = 1 + (rng.next_f64() * 3999.0) as usize;
+            let keys: Vec<i32> =
+                (0..len).map(|_| (rng.next_f64() * mk as f64) as i32).collect();
             let mut counts = vec![0i32; mk];
             for &k in &keys {
                 counts[k as usize] += 1;
@@ -319,8 +319,8 @@ mod proptests {
             for k in 1..mk {
                 counts[k] += counts[k - 1];
             }
-            prop_assert_eq!(counts[mk - 1] as usize, keys.len());
-            prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(counts[mk - 1] as usize, keys.len(), "case {case}");
+            assert!(counts.windows(2).all(|w| w[0] <= w[1]));
             // Scatter to ranked positions.
             let mut c = counts.clone();
             let mut sorted = vec![0i32; keys.len()];
@@ -328,24 +328,26 @@ mod proptests {
                 c[k as usize] -= 1;
                 sorted[c[k as usize] as usize] = k;
             }
-            prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+            assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "case {case}");
             let mut expect = keys.clone();
             expect.sort_unstable();
-            prop_assert_eq!(sorted, expect);
+            assert_eq!(sorted, expect, "case {case}");
         }
+    }
 
-        /// Thread-count invariance of the full rank pass on the real
-        /// benchmark keys (reduced key space for speed).
-        #[test]
-        fn rank_invariant_under_team_size(nthreads in 1usize..5) {
-            let mut serial = IsBench::new(Class::S);
-            let mut hists = vec![0i32; serial.params().max_key];
-            serial.rank::<false>(1, None, &mut hists);
+    /// Thread-count invariance of the full rank pass on the real
+    /// benchmark keys.
+    #[test]
+    fn rank_invariant_under_team_size() {
+        let mut serial = IsBench::new(Class::S);
+        let mut hists = vec![0i32; serial.params().max_key];
+        serial.rank::<false>(1, None, &mut hists);
+        for nthreads in 1usize..5 {
             let team = Team::new(nthreads);
             let mut par = IsBench::new(Class::S);
             let mut hists = vec![0i32; nthreads * par.params().max_key];
             par.rank::<false>(1, Some(&team), &mut hists);
-            prop_assert_eq!(serial.counts, par.counts);
+            assert_eq!(serial.counts, par.counts, "{nthreads} threads");
         }
     }
 }

@@ -410,16 +410,13 @@ mod tests {
 mod proptests {
     use super::*;
     use npb_runtime::SharedMut;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        /// The residual operator is affine: resid(u, v) - resid(u, 0)
-        /// equals v on the interior (A u enters with one sign, v with
-        /// the other).
-        #[test]
-        fn resid_is_affine_in_v(seed in 0u64..1000) {
+    /// The residual operator is affine: resid(u, v) - resid(u, 0)
+    /// equals v on the interior (A u enters with one sign, v with
+    /// the other). Seeds are a fixed deterministic sample.
+    #[test]
+    fn resid_is_affine_in_v() {
+        for seed in [0u64, 17, 93, 256, 511, 760, 999] {
             let n = 8;
             let a = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
             let field = |s: u64| -> Vec<f64> {
@@ -446,17 +443,20 @@ mod proptests {
                 for i2 in 2..n - 1 {
                     for i1 in 2..n - 1 {
                         let id = id1(n, i1, i2, i3);
-                        prop_assert!((r1[id] - r0[id] - v[id]).abs() < 1e-12);
+                        assert!((r1[id] - r0[id] - v[id]).abs() < 1e-12, "seed {seed}");
                     }
                 }
             }
         }
+    }
 
-        /// Restriction of a constant field is (asymptotically) the same
-        /// constant: the rprj3 weights sum to 2 over interior cells, and
-        /// comm3 keeps the field periodic-consistent.
-        #[test]
-        fn rprj3_weights_sum(c0 in 0.5f64..2.0) {
+    /// Restriction of a constant field is (asymptotically) the same
+    /// constant: the rprj3 weights sum to 2 over interior cells, and
+    /// comm3 keeps the field periodic-consistent. Constants are a fixed
+    /// deterministic sample of (0.5, 2.0).
+    #[test]
+    fn rprj3_weights_sum() {
+        for c0 in [0.5f64, 0.75, 1.0, 1.3, 1.7, 2.0] {
             let nf = 10usize;
             let nc = 6usize;
             let mut r = vec![c0; nf * nf * nf];
@@ -473,7 +473,7 @@ mod proptests {
             for i3 in 2..nc - 1 {
                 for i2 in 2..nc - 1 {
                     for i1 in 2..nc - 1 {
-                        prop_assert!((s[id1(nc, i1, i2, i3)] - w * c0).abs() < 1e-12);
+                        assert!((s[id1(nc, i1, i2, i3)] - w * c0).abs() < 1e-12, "c0 {c0}");
                     }
                 }
             }

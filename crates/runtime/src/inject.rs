@@ -1,0 +1,172 @@
+//! Deterministic fault injection for the master–worker runtime.
+//!
+//! A [`FaultPlan`] is a seeded, one-shot fault: it picks its victim rank
+//! and its parameters from the NPB linear-congruential generator
+//! ([`npb_core::random::randlc`]), so a chaos run is exactly reproducible
+//! from its `kind:seed` spec. Three faults cover the failure paths the
+//! runtime must survive:
+//!
+//! * **panic** — the victim rank's region body unwinds at region entry,
+//!   exercising barrier poisoning, region draining and team healing;
+//! * **delay** — the victim rank sleeps before its next barrier,
+//!   exercising the watchdog and proving barriers tolerate stragglers;
+//! * **nan** — the next verification comparison sees a NaN computed
+//!   value, exercising the `Verified::Failure` → nonzero-exit path.
+//!
+//! Faults are one-shot: arming fires the fault at most once, so a driver
+//! retry (`--retries`) of the same benchmark runs clean.
+
+use npb_core::random::randlc;
+
+use crate::team::Team;
+
+/// Which fault a [`FaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the victim rank's region body.
+    Panic,
+    /// Sleep the victim rank before its next barrier.
+    Delay,
+    /// Corrupt the next verified quantity to NaN.
+    Nan,
+}
+
+/// A seeded, deterministic, one-shot fault to inject.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// The user-facing seed the plan was built from.
+    pub seed: u64,
+    /// NPB-generator state derived from `seed` (odd, so the LCG mod 2^46
+    /// runs at full period).
+    state: f64,
+}
+
+impl FaultPlan {
+    /// Build a plan from a kind and seed.
+    pub fn new(kind: FaultKind, seed: u64) -> FaultPlan {
+        let mut state = ((seed.wrapping_mul(2) + 1) & ((1 << 46) - 1)) as f64;
+        // Warm the generator: small seeds give tiny states whose first
+        // deviates are all near zero, which would pin every victim to
+        // rank 0. Two steps mix the state across the full 2^46 range.
+        randlc(&mut state, npb_core::random::A_DEFAULT);
+        randlc(&mut state, npb_core::random::A_DEFAULT);
+        FaultPlan { kind, seed, state }
+    }
+
+    /// Parse a driver spec: `panic`, `delay` or `nan`, optionally
+    /// followed by `:<seed>` (default seed 1).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (kind, seed) = match spec.split_once(':') {
+            Some((k, s)) => {
+                let seed = s
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad fault seed {s:?} (expected an integer)"))?;
+                (k, seed)
+            }
+            None => (spec, 1),
+        };
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "delay" => FaultKind::Delay,
+            "nan" => FaultKind::Nan,
+            other => {
+                return Err(format!("unknown fault kind {other:?} (expected panic|delay|nan)"))
+            }
+        };
+        Ok(FaultPlan::new(kind, seed))
+    }
+
+    /// The `k`-th deviate of this plan's stream, in `(0, 1)`.
+    fn draw(&self, k: usize) -> f64 {
+        let mut x = self.state;
+        let mut v = 0.0;
+        for _ in 0..=k {
+            v = randlc(&mut x, npb_core::random::A_DEFAULT);
+        }
+        v
+    }
+
+    /// Deterministic victim rank for a team of `n`.
+    pub fn victim(&self, n: usize) -> usize {
+        ((self.draw(0) * n as f64) as usize).min(n - 1)
+    }
+
+    /// Deterministic barrier-delay duration, 20–200 ms.
+    pub fn delay_ms(&self) -> u64 {
+        20 + (self.draw(1) * 180.0) as u64
+    }
+
+    /// Arm the fault. Panic and delay faults arm on `team` (they need a
+    /// worker to victimize); the NaN fault arms the process-global
+    /// verification corruption hook in `npb-core`.
+    ///
+    /// Errors if the fault needs a team and none was given (serial runs
+    /// have no worker to kill).
+    pub fn arm(&self, team: Option<&Team>) -> Result<(), String> {
+        match self.kind {
+            FaultKind::Nan => {
+                npb_core::arm_nan_corruption();
+                Ok(())
+            }
+            FaultKind::Panic | FaultKind::Delay => match team {
+                Some(t) => {
+                    t.arm_fault(self);
+                    Ok(())
+                }
+                None => Err(format!(
+                    "fault {:?} needs worker threads (run with --threads >= 1)",
+                    self.kind
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_kinds_and_defaults_seed() {
+        assert_eq!(FaultPlan::parse("panic:7").unwrap().kind, FaultKind::Panic);
+        assert_eq!(FaultPlan::parse("delay").unwrap().seed, 1);
+        assert_eq!(FaultPlan::parse("nan:3").unwrap().seed, 3);
+        assert!(FaultPlan::parse("explode").is_err());
+        assert!(FaultPlan::parse("panic:x").is_err());
+    }
+
+    #[test]
+    fn victim_is_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let plan = FaultPlan::new(FaultKind::Panic, seed);
+            for n in 1..9usize {
+                let v = plan.victim(n);
+                assert!(v < n, "seed {seed}, n {n}: victim {v}");
+                assert_eq!(v, plan.victim(n), "victim must be reproducible");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_spread_victims() {
+        let hits: std::collections::HashSet<usize> =
+            (0..32u64).map(|s| FaultPlan::new(FaultKind::Panic, s).victim(8)).collect();
+        assert!(hits.len() > 3, "seeds should reach several ranks, got {hits:?}");
+    }
+
+    #[test]
+    fn delay_is_bounded() {
+        for seed in 0..20u64 {
+            let ms = FaultPlan::new(FaultKind::Delay, seed).delay_ms();
+            assert!((20..=200).contains(&ms));
+        }
+    }
+
+    #[test]
+    fn serial_panic_arm_is_an_error() {
+        let plan = FaultPlan::new(FaultKind::Panic, 1);
+        assert!(plan.arm(None).is_err());
+    }
+}

@@ -29,12 +29,22 @@
 //! ("Java thread overhead (1 thread versus serial) contributes no more
 //! than 20% to the execution time").
 
+//!
+//! PRs past the seed grew this into a fault-tolerant substrate: region
+//! bodies that panic poison the barrier (so siblings unwind instead of
+//! deadlocking), [`Team::try_exec`] reports structured [`RegionError`]s,
+//! a watchdog timeout names the ranks that never arrived, and a seeded
+//! [`FaultPlan`] injects deterministic panics/delays/NaNs for chaos
+//! testing.
+
+mod inject;
 mod partials;
 mod partition;
 mod shared;
 mod team;
 
+pub use inject::{FaultKind, FaultPlan};
 pub use partials::Partials;
 pub use partition::partition;
 pub use shared::SharedMut;
-pub use team::{run_par, Par, Team};
+pub use team::{run_par, BarrierPoisoned, FailurePolicy, InjectedFault, Par, RegionError, Team};

@@ -1,7 +1,32 @@
 //! Deterministic per-thread reduction slots.
 
-use crossbeam_utils::CachePadded;
 use std::cell::UnsafeCell;
+
+/// Pads and aligns a value to 128 bytes — two 64-byte lines, covering the
+/// spatial-prefetcher pairing on x86 and the 128-byte lines of some ARM
+/// parts — so adjacent per-thread slots never false-share.
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    fn new(v: T) -> Self {
+        CachePadded(v)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
 
 /// Cache-padded per-thread accumulator slots for reductions.
 ///

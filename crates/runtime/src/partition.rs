@@ -26,7 +26,6 @@ pub fn partition(len: usize, nparts: usize, part: usize) -> Range<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn exact_division() {
@@ -63,28 +62,43 @@ mod tests {
         partition(10, 2, 2);
     }
 
-    proptest! {
-        /// The parts tile 0..len exactly: contiguous, ordered, disjoint.
-        #[test]
-        fn parts_tile_the_range(len in 0usize..10_000, nparts in 1usize..64) {
+    /// Deterministic seeded sample of (len, nparts) cases, drawn from the
+    /// NPB generator so the "property" coverage reproduces bit-for-bit.
+    fn sampled_cases() -> Vec<(usize, usize)> {
+        let mut rng = npb_core::Randlc::new(npb_core::SEED_DEFAULT);
+        (0..200)
+            .map(|_| {
+                let len = (rng.next_f64() * 10_000.0) as usize;
+                let nparts = 1 + (rng.next_f64() * 63.0) as usize;
+                (len, nparts)
+            })
+            .collect()
+    }
+
+    /// The parts tile 0..len exactly: contiguous, ordered, disjoint.
+    #[test]
+    fn parts_tile_the_range() {
+        for (len, nparts) in sampled_cases() {
             let mut cursor = 0usize;
             for p in 0..nparts {
                 let r = partition(len, nparts, p);
-                prop_assert_eq!(r.start, cursor);
-                prop_assert!(r.end >= r.start);
+                assert_eq!(r.start, cursor, "len {len}, nparts {nparts}, part {p}");
+                assert!(r.end >= r.start);
                 cursor = r.end;
             }
-            prop_assert_eq!(cursor, len);
+            assert_eq!(cursor, len, "len {len}, nparts {nparts}");
         }
+    }
 
-        /// Balance: no part exceeds another by more than one iteration.
-        #[test]
-        fn parts_are_balanced(len in 0usize..10_000, nparts in 1usize..64) {
+    /// Balance: no part exceeds another by more than one iteration.
+    #[test]
+    fn parts_are_balanced() {
+        for (len, nparts) in sampled_cases() {
             let sizes: Vec<usize> =
                 (0..nparts).map(|p| partition(len, nparts, p).len()).collect();
             let min = *sizes.iter().min().unwrap();
             let max = *sizes.iter().max().unwrap();
-            prop_assert!(max - min <= 1);
+            assert!(max - min <= 1, "len {len}, nparts {nparts}: {sizes:?}");
         }
     }
 }

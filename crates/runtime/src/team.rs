@@ -1,32 +1,109 @@
 //! The master–worker team: persistent threads dispatched per parallel
-//! region, exactly the state machine of the paper's §4.
+//! region, exactly the state machine of the paper's §4 — hardened with a
+//! structured failure model (panic-safe barriers, a watchdog timeout on
+//! the master's wait, and worker respawn) so one dying or stalling worker
+//! cannot wedge the whole suite.
 
-use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::partition;
+
+/// Structured outcome of a failed parallel region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// One or more workers' region bodies unwound. `tids` are the ranks
+    /// whose bodies panicked directly (siblings released from a poisoned
+    /// barrier are collateral and not listed).
+    Panicked {
+        /// Ranks whose region body panicked, in ascending order.
+        tids: Vec<usize>,
+    },
+    /// The watchdog timeout elapsed before every rank finished the
+    /// region. `stuck_ranks` never reported completion; the team has been
+    /// rebuilt and the stragglers abandoned.
+    Timeout {
+        /// Ranks that never arrived, in ascending order.
+        stuck_ranks: Vec<usize>,
+    },
+    /// The team's dispatch state was unavailable: `exec` was re-entered
+    /// from inside a region, raced from another thread, or a previous
+    /// master panicked mid-dispatch.
+    Poisoned,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::Panicked { tids } => {
+                write!(f, "{} worker(s) panicked inside a parallel region (ranks {tids:?})",
+                       tids.len())
+            }
+            RegionError::Timeout { stuck_ranks } => {
+                write!(f, "region watchdog timeout: ranks {stuck_ranks:?} never arrived")
+            }
+            RegionError::Poisoned => {
+                write!(f, "team dispatch state poisoned (reentrant or concurrent exec)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// What a team does with itself after a failed region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Rebuild/respawn dead workers so the next region runs at full
+    /// width (the default).
+    Respawn,
+    /// Graceful degradation: rebuild the team at reduced width (live
+    /// ranks only, floor of one) and keep going.
+    Degrade,
+}
+
+/// Panic payload used to release siblings blocked in a poisoned barrier.
+/// Workers unwound by this marker are collateral damage, not the fault's
+/// origin, and are excluded from [`RegionError::Panicked`]'s rank list.
+pub struct BarrierPoisoned;
+
+/// Panic payload for faults injected by a [`crate::FaultPlan`].
+pub struct InjectedFault;
+
+pub(crate) const FAULT_NONE: u8 = 0;
+pub(crate) const FAULT_PANIC: u8 = 1;
+pub(crate) const FAULT_DELAY: u8 = 2;
 
 /// Erased pointer to the current region's body.
 #[derive(Clone, Copy)]
 struct TaskPtr(*const (dyn Fn(usize) + Sync));
 // SAFETY: the pointee outlives the region (the master blocks in `exec`
-// until every worker has finished running it).
+// until every worker has finished running it, and leaks the closure if it
+// abandons stragglers on timeout).
 unsafe impl Send for TaskPtr {}
 
 struct JobSlot {
     epoch: u64,
     remaining: usize,
     task: Option<TaskPtr>,
-    panicked: usize,
+    /// Ranks whose body panicked directly this region.
+    panicked: Vec<usize>,
+    /// Per-rank completion flags for the current region; a rank that
+    /// never flips its flag is what the watchdog reports as stuck.
+    arrived: Vec<bool>,
     shutdown: bool,
 }
 
 struct BarrierState {
     count: usize,
     generation: u64,
+    /// Set when any worker's body unwinds; waiters unwind instead of
+    /// blocking for a sibling that will never arrive.
+    poisoned: bool,
 }
 
 struct Inner {
@@ -39,6 +116,36 @@ struct Inner {
     done_cv: Condvar,
     barrier: Mutex<BarrierState>,
     barrier_cv: Condvar,
+    /// One-shot fault-injection slot (see [`crate::FaultPlan`]).
+    fault_kind: AtomicU8,
+    fault_victim: AtomicUsize,
+    fault_delay_ms: AtomicU64,
+}
+
+/// Lock recovering from std mutex poisoning: our own explicit `poisoned`
+/// flags carry the failure semantics, so a panicked lock holder must not
+/// wedge every later region.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Inner {
+    /// Consume the armed fault if it targets `(kind, tid)`.
+    fn take_fault(&self, kind: u8, tid: usize) -> bool {
+        if self.fault_kind.load(Ordering::Relaxed) != kind
+            || self.fault_victim.load(Ordering::Relaxed) != tid
+        {
+            return false;
+        }
+        self.fault_kind
+            .compare_exchange(kind, FAULT_NONE, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+struct TeamState {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 /// A persistent team of worker threads.
@@ -47,9 +154,25 @@ struct Inner {
 /// runnable states per parallel region, exactly as the paper's Java port
 /// does with `wait()`/`notify()`. Dropping the team shuts the workers
 /// down and joins them.
+///
+/// # Failure model
+///
+/// A region body that panics no longer wedges the suite: the failing
+/// worker poisons the barrier (releasing siblings blocked in
+/// [`Par::barrier`], which unwind cleanly), the region drains, and
+/// [`Team::try_exec`] reports [`RegionError::Panicked`]. A configurable
+/// watchdog ([`Team::set_region_timeout`], or `NPB_REGION_TIMEOUT_MS`)
+/// bounds the master's wait and reports *which* ranks never arrived.
+/// After any failed region the team heals itself per its
+/// [`FailurePolicy`], so the next region runs normally.
 pub struct Team {
-    inner: Arc<Inner>,
-    handles: Vec<JoinHandle<()>>,
+    state: Mutex<TeamState>,
+    /// Current width, readable without the state lock.
+    width: AtomicUsize,
+    /// Watchdog for the master's region wait, in ms; 0 = disabled.
+    timeout_ms: AtomicU64,
+    /// 0 = Respawn, 1 = Degrade.
+    degrade: AtomicU8,
 }
 
 /// Per-thread context inside a parallel region (or the serial stand-in).
@@ -97,10 +220,22 @@ impl<'t> Par<'t> {
     /// Block until every thread of the region has arrived.
     ///
     /// Sense-reversing (generation-counted) barrier; a no-op on the serial
-    /// path.
+    /// path. Panic-safe: if any sibling's region body unwinds, the barrier
+    /// generation is poisoned and every waiter unwinds (with a
+    /// [`BarrierPoisoned`] payload) instead of blocking forever on a rank
+    /// that will never arrive.
     pub fn barrier(&self) {
         let Some(inner) = self.team else { return };
-        let mut st = inner.barrier.lock();
+        if inner.take_fault(FAULT_DELAY, self.tid) {
+            std::thread::sleep(Duration::from_millis(
+                inner.fault_delay_ms.load(Ordering::Relaxed),
+            ));
+        }
+        let mut st = lock(&inner.barrier);
+        if st.poisoned {
+            drop(st);
+            std::panic::panic_any(BarrierPoisoned);
+        }
         st.count += 1;
         if st.count == inner.n {
             st.count = 0;
@@ -108,8 +243,13 @@ impl<'t> Par<'t> {
             inner.barrier_cv.notify_all();
         } else {
             let gen = st.generation;
-            while st.generation == gen {
-                inner.barrier_cv.wait(&mut st);
+            while st.generation == gen && !st.poisoned {
+                st = inner.barrier_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.generation == gen {
+                // Woken by poison, not completion.
+                drop(st);
+                std::panic::panic_any(BarrierPoisoned);
             }
         }
     }
@@ -121,76 +261,251 @@ impl<'t> Par<'t> {
     }
 }
 
+fn spawn_team(n: usize) -> TeamState {
+    let inner = Arc::new(Inner {
+        n,
+        job: Mutex::new(JobSlot {
+            epoch: 0,
+            remaining: 0,
+            task: None,
+            panicked: Vec::new(),
+            arrived: vec![false; n],
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        barrier: Mutex::new(BarrierState { count: 0, generation: 0, poisoned: false }),
+        barrier_cv: Condvar::new(),
+        fault_kind: AtomicU8::new(FAULT_NONE),
+        fault_victim: AtomicUsize::new(0),
+        fault_delay_ms: AtomicU64::new(0),
+    });
+    let handles = (0..n).map(|tid| spawn_worker(&inner, tid, 0)).collect();
+    TeamState { inner, handles }
+}
+
+fn spawn_worker(inner: &Arc<Inner>, tid: usize, epoch: u64) -> JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("npb-worker-{tid}"))
+        .spawn(move || worker_loop(&inner, tid, epoch))
+        .expect("failed to spawn worker thread")
+}
+
 impl Team {
     /// Spawn a team of `n` persistent workers (`n >= 1`).
+    ///
+    /// If `NPB_REGION_TIMEOUT_MS` is set to a positive integer, the
+    /// watchdog starts enabled at that value.
     pub fn new(n: usize) -> Team {
         assert!(n >= 1, "a team needs at least one worker");
-        let inner = Arc::new(Inner {
-            n,
-            job: Mutex::new(JobSlot {
-                epoch: 0,
-                remaining: 0,
-                task: None,
-                panicked: 0,
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            barrier: Mutex::new(BarrierState { count: 0, generation: 0 }),
-            barrier_cv: Condvar::new(),
-        });
-        let handles = (0..n)
-            .map(|tid| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("npb-worker-{tid}"))
-                    .spawn(move || worker_loop(&inner, tid))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        Team { inner, handles }
+        let timeout_ms = std::env::var("NPB_REGION_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Team {
+            state: Mutex::new(spawn_team(n)),
+            width: AtomicUsize::new(n),
+            timeout_ms: AtomicU64::new(timeout_ms),
+            degrade: AtomicU8::new(0),
+        }
     }
 
-    /// Number of workers.
+    /// Number of workers (the current width; may shrink after a failure
+    /// under [`FailurePolicy::Degrade`]).
     pub fn size(&self) -> usize {
-        self.inner.n
+        self.width.load(Ordering::Relaxed)
+    }
+
+    /// Set (or disable, with `None`) the watchdog on the master's wait
+    /// for region completion.
+    pub fn set_region_timeout(&self, timeout: Option<Duration>) {
+        let ms = timeout.map_or(0, |d| d.as_millis().max(1) as u64);
+        self.timeout_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Choose what happens to the team after a failed region.
+    pub fn set_failure_policy(&self, policy: FailurePolicy) {
+        self.degrade.store(matches!(policy, FailurePolicy::Degrade) as u8, Ordering::Relaxed);
+    }
+
+    /// Arm a one-shot injected fault (panic or barrier delay) on this
+    /// team; the victim rank is chosen deterministically by the plan's
+    /// seed. NaN plans are armed process-globally via
+    /// [`crate::FaultPlan::arm`], not here.
+    pub fn arm_fault(&self, plan: &crate::FaultPlan) {
+        let st = lock(&self.state);
+        let inner = &st.inner;
+        let kind = match plan.kind {
+            crate::FaultKind::Panic => FAULT_PANIC,
+            crate::FaultKind::Delay => FAULT_DELAY,
+            crate::FaultKind::Nan => return,
+        };
+        inner.fault_victim.store(plan.victim(inner.n), Ordering::SeqCst);
+        inner.fault_delay_ms.store(plan.delay_ms(), Ordering::SeqCst);
+        inner.fault_kind.store(kind, Ordering::SeqCst);
     }
 
     /// Run `f` on every worker as one parallel region.
     ///
     /// The master publishes the task, wakes the workers (`notify_all`),
     /// and blocks until all have finished — the exact master–worker
-    /// protocol of the paper. Panics inside `f` are caught on the workers
-    /// and re-raised here once the region has drained.
+    /// protocol of the paper. Panicking wrapper over [`Team::try_exec`]:
+    /// a failed region panics here with the [`RegionError`] as payload.
     pub fn exec<F>(&self, f: F)
     where
         F: Fn(Par<'_>) + Sync,
     {
-        let inner: &Inner = &self.inner;
-        let wrapper = move |tid: usize| {
-            f(Par { tid, n: inner.n, team: Some(inner) });
+        if let Err(e) = self.try_exec(f) {
+            std::panic::panic_any(e);
+        }
+    }
+
+    /// Run `f` on every worker as one parallel region, reporting failure
+    /// as a structured [`RegionError`] instead of panicking.
+    ///
+    /// After an error the team has already healed itself (respawned to
+    /// full width, or shrunk under [`FailurePolicy::Degrade`]) and can
+    /// run further regions.
+    ///
+    /// On [`RegionError::Timeout`] the stuck ranks are abandoned, not
+    /// killed: the region closure is leaked so a straggler that resumes
+    /// never touches freed closure memory, but data the region borrowed
+    /// from the caller must outlive the team for a resumed straggler to
+    /// be sound. The watchdog is meant for ranks that are permanently
+    /// wedged (deadlock, livelock), which is exactly when that caveat is
+    /// vacuous.
+    pub fn try_exec<F>(&self, f: F) -> Result<(), RegionError>
+    where
+        F: Fn(Par<'_>) + Sync,
+    {
+        // The state lock is the reentrancy/concurrency guard: a worker
+        // calling exec from inside a region (the master holds the lock
+        // for the whole region) or a second master racing this one gets
+        // `Poisoned` instead of corrupting the job slot.
+        let mut st = match self.state.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return Err(RegionError::Poisoned),
         };
-        let obj: &(dyn Fn(usize) + Sync) = &wrapper;
-        // SAFETY: we erase the lifetime of `obj`, but `exec` does not
-        // return until `remaining == 0`, i.e. until no worker can still
-        // dereference the pointer.
+        let inner = Arc::clone(&st.inner);
+        let n = inner.n;
+
+        // Fresh barrier + arrival state for this region; no worker is
+        // active between regions, so this is race-free.
+        {
+            let mut b = lock(&inner.barrier);
+            b.count = 0;
+            b.poisoned = false;
+        }
+
+        // SAFETY: `Inner` is kept alive past this unbounded borrow by the
+        // Arc each worker thread holds.
+        let inner_ref: &'static Inner = unsafe { &*Arc::as_ptr(&inner) };
+        let wrapper: Box<dyn Fn(usize) + Sync + '_> = Box::new(move |tid| {
+            if inner_ref.take_fault(FAULT_PANIC, tid) {
+                std::panic::panic_any(InjectedFault);
+            }
+            f(Par { tid, n, team: Some(inner_ref) });
+        });
+        let obj: &(dyn Fn(usize) + Sync) = &*wrapper;
+        // SAFETY: we erase the lifetime of `obj`; the master does not
+        // release the box until no worker can still dereference it (and
+        // leaks it when abandoning stragglers on timeout).
         let obj: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(obj) };
 
-        let mut job = self.inner.job.lock();
-        debug_assert!(job.remaining == 0 && job.task.is_none(), "exec is not reentrant");
+        let mut job = lock(&inner.job);
+        if job.remaining != 0 || job.task.is_some() {
+            return Err(RegionError::Poisoned);
+        }
         job.task = Some(TaskPtr(obj as *const _));
         job.epoch = job.epoch.wrapping_add(1);
-        job.remaining = inner.n;
-        job.panicked = 0;
-        self.inner.work_cv.notify_all();
+        job.remaining = n;
+        job.panicked.clear();
+        job.arrived.iter_mut().for_each(|a| *a = false);
+        inner.work_cv.notify_all();
+
+        let timeout_ms = self.timeout_ms.load(Ordering::Relaxed);
+        let deadline =
+            (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
         while job.remaining != 0 {
-            self.inner.done_cv.wait(&mut job);
+            match deadline {
+                None => job = inner.done_cv.wait(job).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        let stuck: Vec<usize> =
+                            (0..n).filter(|&t| !job.arrived[t]).collect();
+                        // Tell idle/late workers of the old team to exit,
+                        // and release any of them blocked in the barrier.
+                        job.shutdown = true;
+                        inner.work_cv.notify_all();
+                        drop(job);
+                        {
+                            let mut b = lock(&inner.barrier);
+                            b.poisoned = true;
+                            inner.barrier_cv.notify_all();
+                        }
+                        // A straggler may still hold the task pointer:
+                        // the closure must never be freed.
+                        std::mem::forget(wrapper);
+                        let width = if self.degrade.load(Ordering::Relaxed) != 0 {
+                            (n - stuck.len()).max(1)
+                        } else {
+                            n
+                        };
+                        // Abandon the old team wholesale (dropping the
+                        // handles detaches the threads) and start fresh.
+                        *st = spawn_team(width);
+                        self.width.store(width, Ordering::Relaxed);
+                        return Err(RegionError::Timeout { stuck_ranks: stuck });
+                    }
+                    let (g, _) = inner
+                        .done_cv
+                        .wait_timeout(job, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    job = g;
+                }
+            }
         }
         job.task = None;
-        let panicked = job.panicked;
+        let mut panicked = std::mem::take(&mut job.panicked);
         drop(job);
-        if panicked > 0 {
-            panic!("{panicked} worker thread(s) panicked inside a parallel region");
+        drop(wrapper);
+        if panicked.is_empty() {
+            return Ok(());
+        }
+        panicked.sort_unstable();
+        self.heal(&mut st, panicked.len());
+        Err(RegionError::Panicked { tids: panicked })
+    }
+
+    /// Restore the team after a panicked (fully drained) region.
+    fn heal(&self, st: &mut TeamState, lost: usize) {
+        if self.degrade.load(Ordering::Relaxed) != 0 && st.inner.n > 1 {
+            // Degrade: rebuild at reduced width. All workers are idle
+            // (the region drained), so a clean shutdown-join works.
+            let width = (st.inner.n - lost).max(1);
+            {
+                let mut job = lock(&st.inner.job);
+                job.shutdown = true;
+            }
+            st.inner.work_cv.notify_all();
+            for h in st.handles.drain(..) {
+                let _ = h.join();
+            }
+            *st = spawn_team(width);
+            self.width.store(width, Ordering::Relaxed);
+            return;
+        }
+        // Respawn: workers catch body panics and survive, so threads die
+        // only in exotic cases (e.g. a panic payload that panics on
+        // drop); respawn any that did so the team keeps full width.
+        let epoch = lock(&st.inner.job).epoch;
+        for tid in 0..st.inner.n {
+            if st.handles[tid].is_finished() {
+                st.handles[tid] = spawn_worker(&st.inner, tid, epoch);
+            }
         }
     }
 
@@ -210,25 +525,26 @@ impl Team {
 
 impl Drop for Team {
     fn drop(&mut self) {
+        let st = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
         {
-            let mut job = self.inner.job.lock();
+            let mut job = lock(&st.inner.job);
             job.shutdown = true;
-            self.inner.work_cv.notify_all();
         }
-        for h in self.handles.drain(..) {
+        st.inner.work_cv.notify_all();
+        for h in st.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(inner: &Inner, tid: usize) {
-    let mut seen_epoch = 0u64;
+fn worker_loop(inner: &Inner, tid: usize, initial_epoch: u64) {
+    let mut seen_epoch = initial_epoch;
     loop {
         // Blocked state: wait for the master's notify (new epoch).
         let task = {
-            let mut job = inner.job.lock();
+            let mut job = lock(&inner.job);
             while job.epoch == seen_epoch && !job.shutdown {
-                inner.work_cv.wait(&mut job);
+                job = inner.work_cv.wait(job).unwrap_or_else(|e| e.into_inner());
             }
             if job.shutdown {
                 return;
@@ -240,10 +556,24 @@ fn worker_loop(inner: &Inner, tid: usize) {
         let res = catch_unwind(AssertUnwindSafe(|| {
             (unsafe { &*task.0 })(tid);
         }));
-        let mut job = inner.job.lock();
+        let primary_panic = match &res {
+            Ok(()) => false,
+            // Collateral unwind out of a poisoned barrier: this rank is a
+            // casualty of a sibling's panic, not a fault origin.
+            Err(payload) => !payload.is::<BarrierPoisoned>(),
+        };
         if res.is_err() {
-            job.panicked += 1;
+            // Poison the barrier so siblings parked in it unwind instead
+            // of waiting forever for this rank.
+            let mut b = lock(&inner.barrier);
+            b.poisoned = true;
+            inner.barrier_cv.notify_all();
         }
+        let mut job = lock(&inner.job);
+        if primary_panic {
+            job.panicked.push(tid);
+        }
+        job.arrived[tid] = true;
         job.remaining -= 1;
         if job.remaining == 0 {
             inner.done_cv.notify_one();
@@ -369,6 +699,103 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn try_exec_reports_panicking_ranks() {
+        let team = Team::new(4);
+        let err = team
+            .try_exec(|p| {
+                if p.tid() == 2 {
+                    panic!("boom");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, RegionError::Panicked { tids: vec![2] });
+        assert_eq!(team.size(), 4);
+        team.exec(|_| {});
+    }
+
+    #[test]
+    fn exec_panics_with_region_error_payload() {
+        let team = Team::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            team.exec(|p| {
+                if p.tid() == 0 {
+                    panic!("first");
+                }
+            });
+        }));
+        let payload = res.unwrap_err();
+        let err = payload.downcast::<RegionError>().expect("RegionError payload");
+        assert_eq!(*err, RegionError::Panicked { tids: vec![0] });
+    }
+
+    #[test]
+    fn reentrant_exec_is_poisoned_not_corrupted() {
+        let team = Team::new(2);
+        let seen = Mutex::new(None);
+        team.exec(|p| {
+            if p.is_root() {
+                let r = team.try_exec(|_| {});
+                *lock(&seen) = Some(r);
+            }
+        });
+        assert_eq!(lock(&seen).take(), Some(Err(RegionError::Poisoned)));
+        // The outer region completed and the team still works.
+        team.exec(|_| {});
+    }
+
+    #[test]
+    fn degrade_policy_shrinks_after_panic() {
+        let team = Team::new(4);
+        team.set_failure_policy(FailurePolicy::Degrade);
+        let err = team
+            .try_exec(|p| {
+                if p.tid() == 3 {
+                    panic!("die");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, RegionError::Panicked { tids: vec![3] });
+        assert_eq!(team.size(), 3);
+        let hits = AtomicUsize::new(0);
+        team.exec(|p| {
+            assert_eq!(p.num_threads(), 3);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn watchdog_reports_stuck_ranks_and_team_recovers() {
+        // The stuck region body only touches leaked ('static) state, as
+        // the timeout contract requires.
+        let team = Team::new(3);
+        team.set_region_timeout(Some(Duration::from_millis(100)));
+        let gate: &'static (Mutex<bool>, Condvar) =
+            Box::leak(Box::new((Mutex::new(false), Condvar::new())));
+        let err = team
+            .try_exec(|p| {
+                if p.tid() == 1 {
+                    let mut open = lock(&gate.0);
+                    while !*open {
+                        open = gate.1.wait(open).unwrap();
+                    }
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, RegionError::Timeout { stuck_ranks: vec![1] });
+        // Full width restored by the rebuild.
+        assert_eq!(team.size(), 3);
+        let hits = AtomicUsize::new(0);
+        team.exec(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        // Release the abandoned straggler so the process exits cleanly.
+        *lock(&gate.0) = true;
+        gate.1.notify_all();
     }
 
     #[test]

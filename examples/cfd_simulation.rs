@@ -19,7 +19,7 @@ fn main() {
     let team = Team::new(2);
 
     println!("step   error norms (five conserved variables)");
-    let mut report = |state: &BtState, step: usize| {
+    let report = |state: &BtState, step: usize| {
         let e = error_norm(&state.fields, &state.consts);
         println!(
             "{step:>4}   {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e}",

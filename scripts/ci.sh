@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, full test suite, chaos smoke, lints.
+# Hermetic by construction — the workspace has no registry dependencies,
+# so every step below works without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test --workspace -q
+
+echo "== chaos smoke =="
+# Injected worker panic on the first attempt, clean retry must verify.
+cargo run --release --bin npb -- ep --class S --threads 4 --inject panic:1 --retries 1
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

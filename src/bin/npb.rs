@@ -2,21 +2,57 @@
 //!
 //! ```text
 //! npb <BENCH|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]
+//!                 [--timeout MS] [--inject panic|delay|nan[:SEED]] [--retries N]
 //! ```
 //!
 //! `--threads 0` (default) is the pure serial path.
+//!
+//! Fault tolerance:
+//!
+//! * `--timeout MS` arms the region watchdog: a parallel region that does
+//!   not complete within MS milliseconds fails with the list of stuck
+//!   ranks (`NPB_REGION_TIMEOUT_MS` sets the same default from the
+//!   environment).
+//! * `--inject KIND[:SEED]` arms one deterministic fault (worker panic,
+//!   barrier delay, or NaN corruption of a verified quantity) before the
+//!   first attempt of each benchmark.
+//! * `--retries N` reruns a benchmark whose parallel region failed, up to
+//!   N times (injected faults are one-shot, so a retry runs clean).
+//!
+//! Exit codes: 0 all benchmarks verified; 1 a benchmark failed
+//! verification or its region failed beyond the retry budget; 2 usage
+//! error.
 
-use npb::{run_benchmark, Class, Style, BENCHMARKS};
+use std::time::Duration;
+
+use npb::{try_run_benchmark, Class, FaultPlan, RunError, RunOptions, Style, BENCHMARKS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: npb <{}|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]",
+        "usage: npb <{}|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
+         \x20          [--timeout MS] [--inject panic|delay|nan[:SEED]] [--retries N]",
         BENCHMARKS.join("|")
     );
     std::process::exit(2);
 }
 
 fn main() {
+    // Structural panics — injected faults, barrier poisoning, and the
+    // master's `RegionError` rethrow — are caught and reported as
+    // `RunError::Region`; keep the default hook from printing a raw
+    // backtrace for each of them. Genuine kernel panics still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let p = info.payload();
+        if p.is::<npb::RegionError>()
+            || p.is::<npb::InjectedFault>()
+            || p.is::<npb::BarrierPoisoned>()
+        {
+            return;
+        }
+        default_hook(info);
+    }));
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -25,6 +61,9 @@ fn main() {
     let mut class = Class::S;
     let mut style = Style::Opt;
     let mut threads = 0usize;
+    let mut timeout: Option<Duration> = None;
+    let mut inject: Option<FaultPlan> = None;
+    let mut retries = 0usize;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -41,6 +80,17 @@ fn main() {
                 usage()
             }),
             "--threads" | "-t" => threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--timeout" => {
+                let ms: u64 = val(&mut it).parse().unwrap_or_else(|_| usage());
+                timeout = Some(Duration::from_millis(ms));
+            }
+            "--inject" => {
+                inject = Some(FaultPlan::parse(&val(&mut it)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }));
+            }
+            "--retries" => retries = val(&mut it).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -51,15 +101,32 @@ fn main() {
 
     let mut failed = false;
     for name in list {
-        match run_benchmark(name, class, style, threads) {
-            Ok(report) => {
-                println!("{}", report.banner());
-                failed |= !report.verified.is_success()
-                    && report.verified != npb::Verified::NotPerformed;
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                failed = true;
+        let mut attempt = 0usize;
+        loop {
+            // The injected fault is armed only on the first attempt: it
+            // is one-shot by design, so a retry must run clean.
+            let opts = RunOptions { timeout, inject: inject.as_ref().filter(|_| attempt == 0) };
+            match try_run_benchmark(name, class, style, threads, &opts) {
+                Ok(report) => {
+                    println!("{}", report.banner());
+                    failed |= !report.verified.is_success()
+                        && report.verified != npb::Verified::NotPerformed;
+                    break;
+                }
+                Err(e @ (RunError::Unknown(_) | RunError::Config(_))) => {
+                    eprintln!("{e}");
+                    failed = true;
+                    break;
+                }
+                Err(RunError::Region(e)) => {
+                    eprintln!("{name}: {e}");
+                    if attempt >= retries {
+                        failed = true;
+                        break;
+                    }
+                    attempt += 1;
+                    eprintln!("{name}: retrying (attempt {attempt} of {retries})");
+                }
             }
         }
     }

@@ -23,7 +23,12 @@
 //! persistent workers.
 
 pub use npb_core::{BenchReport, Class, Style, Verified};
-pub use npb_runtime::{Par, Partials, SharedMut, Team};
+pub use npb_runtime::{
+    BarrierPoisoned, FailurePolicy, FaultKind, FaultPlan, InjectedFault, Par, Partials,
+    RegionError, SharedMut, Team,
+};
+
+use std::time::Duration;
 
 /// All benchmark names, in the paper's table order.
 pub const BENCHMARKS: [&str; 8] = ["BT", "SP", "LU", "FT", "IS", "CG", "MG", "EP"];
@@ -40,21 +45,93 @@ impl std::fmt::Display for UnknownBenchmark {
 
 impl std::error::Error for UnknownBenchmark {}
 
+/// Everything that can go wrong running a benchmark.
+#[derive(Debug)]
+pub enum RunError {
+    /// The benchmark name is not one of [`BENCHMARKS`].
+    Unknown(UnknownBenchmark),
+    /// A parallel region failed (worker panic, watchdog timeout, or a
+    /// poisoned dispatch); the structured error says which ranks.
+    Region(RegionError),
+    /// The requested options are inconsistent (e.g. a worker fault
+    /// injected into a serial run).
+    Config(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Unknown(e) => e.fmt(f),
+            RunError::Region(e) => write!(f, "region failure: {e}"),
+            RunError::Config(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Fault-tolerance options for [`try_run_benchmark`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions<'p> {
+    /// Watchdog on each parallel region's completion (overrides the
+    /// `NPB_REGION_TIMEOUT_MS` environment default). `None` keeps the
+    /// team's own default.
+    pub timeout: Option<Duration>,
+    /// A deterministic fault to arm before the run (one-shot).
+    pub inject: Option<&'p FaultPlan>,
+}
+
 /// Run one benchmark by name.
 ///
 /// `threads == 0` runs the serial path; otherwise a fresh [`Team`] of
 /// `threads` persistent workers executes the parallel regions (spawn and
 /// join time is excluded from the benchmark's own timed section but
 /// included in this call).
+///
+/// A failed parallel region propagates as a panic carrying the
+/// [`RegionError`]; use [`try_run_benchmark`] for the structured,
+/// non-panicking form.
 pub fn run_benchmark(
     name: &str,
     class: Class,
     style: Style,
     threads: usize,
 ) -> Result<BenchReport, UnknownBenchmark> {
+    match try_run_benchmark(name, class, style, threads, &RunOptions::default()) {
+        Ok(report) => Ok(report),
+        Err(RunError::Unknown(e)) => Err(e),
+        Err(RunError::Region(e)) => std::panic::panic_any(e),
+        Err(RunError::Config(m)) => panic!("{m}"),
+    }
+}
+
+/// Run one benchmark by name with the full failure model: region
+/// failures come back as structured [`RunError::Region`] values instead
+/// of panics, a watchdog timeout can be set, and a deterministic
+/// [`FaultPlan`] can be armed for chaos testing.
+pub fn try_run_benchmark(
+    name: &str,
+    class: Class,
+    style: Style,
+    threads: usize,
+    opts: &RunOptions<'_>,
+) -> Result<BenchReport, RunError> {
+    let name = name.to_ascii_uppercase();
+    if !BENCHMARKS.contains(&name.as_str()) {
+        return Err(RunError::Unknown(UnknownBenchmark(name)));
+    }
     let team = if threads == 0 { None } else { Some(Team::new(threads)) };
+    if let (Some(t), Some(d)) = (team.as_ref(), opts.timeout) {
+        t.set_region_timeout(Some(d));
+    }
+    if let Some(plan) = opts.inject {
+        plan.arm(team.as_ref()).map_err(RunError::Config)?;
+    }
     let t = team.as_ref();
-    let report = match name.to_ascii_uppercase().as_str() {
+    // Kernels report region failure by panicking with a `RegionError`
+    // payload (`Team::exec`); catch it here so the whole failure path —
+    // from a dying worker thread to the caller — is structured.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match name.as_str() {
         "BT" => npb_bt::run(class, style, t),
         "SP" => npb_sp::run(class, style, t),
         "LU" => npb_lu::run(class, style, t),
@@ -63,9 +140,15 @@ pub fn run_benchmark(
         "CG" => npb_cg::run(class, style, t),
         "MG" => npb_mg::run(class, style, t),
         "EP" => npb_ep::run(class, style, t),
-        other => return Err(UnknownBenchmark(other.to_string())),
-    };
-    Ok(report)
+        _ => unreachable!("validated against BENCHMARKS above"),
+    }));
+    match result {
+        Ok(report) => Ok(report),
+        Err(payload) => match payload.downcast::<RegionError>() {
+            Ok(region) => Err(RunError::Region(*region)),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
 }
 
 #[cfg(test)]

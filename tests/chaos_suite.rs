@@ -1,0 +1,173 @@
+//! Chaos suite: deterministic fault injection against the runtime's
+//! failure model (ISSUE acceptance criteria).
+//!
+//! Every test that could deadlock on a regression runs under
+//! [`guarded`], a watchdog thread that fails the test instead of
+//! hanging the suite. The driver-level tests exercise the real `npb`
+//! binary via `CARGO_BIN_EXE_npb` subprocesses; nothing here touches
+//! the network.
+
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use npb::{
+    try_run_benchmark, Class, FaultKind, FaultPlan, RegionError, RunError, RunOptions, Style,
+    Team, Verified,
+};
+
+/// Run `f` on a helper thread; fail (instead of deadlocking the whole
+/// suite) if it does not complete within `secs`.
+fn guarded<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("watchdog: guarded section deadlocked")
+}
+
+#[test]
+fn injected_panic_mid_barrier_is_reported_and_team_recovers_at_full_width() {
+    guarded(60, || {
+        let team = Team::new(4);
+        let plan = FaultPlan::new(FaultKind::Panic, 1);
+        let victim = plan.victim(4);
+        plan.arm(Some(&team)).unwrap();
+
+        // The victim unwinds at region entry while its siblings wait in
+        // the barrier; poisoning must release them instead of hanging.
+        let err = team
+            .try_exec(|p| p.barrier())
+            .expect_err("armed panic fault must fail the region");
+        match err {
+            RegionError::Panicked { tids } => {
+                assert_eq!(tids, vec![victim], "only the victim is a primary panic")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+
+        // The fault was one-shot and the team healed: a subsequent
+        // region runs clean at full width.
+        assert_eq!(team.size(), 4, "default policy respawns to full width");
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        team.exec(move |p| {
+            ran2.fetch_add(1, Ordering::SeqCst);
+            p.barrier();
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 4, "all four ranks ran the next region");
+    });
+}
+
+#[test]
+fn injected_delay_is_absorbed_without_deadlock() {
+    guarded(60, || {
+        let team = Team::new(3);
+        let plan = FaultPlan::new(FaultKind::Delay, 2);
+        plan.arm(Some(&team)).unwrap();
+        // A straggler sleeping before the barrier is legal behaviour,
+        // not a failure: the region completes normally.
+        team.try_exec(|p| p.barrier()).expect("a delayed rank is not an error");
+        team.try_exec(|p| p.barrier()).expect("team is reusable after the delay");
+    });
+}
+
+#[test]
+fn barrier_panic_regression_does_not_deadlock_waiters() {
+    // Regression for the pre-poisoning deadlock: rank 0 panics before
+    // the barrier while every other rank is already waiting in it.
+    guarded(60, || {
+        let team = Team::new(4);
+        let err = team
+            .try_exec(|p| {
+                if p.tid() == 0 {
+                    panic!("boom before barrier");
+                }
+                p.barrier();
+            })
+            .expect_err("rank 0's panic must fail the region");
+        assert!(
+            matches!(&err, RegionError::Panicked { tids } if tids == &vec![0]),
+            "waiters unwound by poisoning are collateral, not primaries: {err:?}"
+        );
+        // And the team still works.
+        team.exec(|p| p.barrier());
+        assert_eq!(team.size(), 4);
+    });
+}
+
+#[test]
+fn nan_injection_turns_verification_into_failure() {
+    let plan = FaultPlan::parse("nan:1").unwrap();
+    let opts = RunOptions { timeout: None, inject: Some(&plan) };
+    let report = try_run_benchmark("EP", Class::S, Style::Opt, 0, &opts)
+        .expect("NaN corruption does not fail the region, only verification");
+    assert_eq!(report.verified, Verified::Failure);
+}
+
+#[test]
+fn worker_fault_on_serial_run_is_a_config_error() {
+    let plan = FaultPlan::parse("panic:1").unwrap();
+    let opts = RunOptions { timeout: None, inject: Some(&plan) };
+    match try_run_benchmark("EP", Class::S, Style::Opt, 0, &opts) {
+        Err(RunError::Config(_)) => {}
+        other => panic!("expected Config error, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_panic_fails_a_real_benchmark_then_retry_succeeds() {
+    guarded(120, || {
+        let plan = FaultPlan::parse("panic:3").unwrap();
+        let opts = RunOptions { timeout: None, inject: Some(&plan) };
+        match try_run_benchmark("CG", Class::S, Style::Opt, 2, &opts) {
+            Err(RunError::Region(RegionError::Panicked { tids })) => {
+                assert_eq!(tids, vec![plan.victim(2)])
+            }
+            other => panic!("expected Panicked region error, got {other:?}"),
+        }
+        // Faults are one-shot: the same call without the plan verifies.
+        let clean = RunOptions::default();
+        let report = try_run_benchmark("CG", Class::S, Style::Opt, 2, &clean).unwrap();
+        assert!(report.verified.is_success());
+    });
+}
+
+// ---- driver subprocesses (exit codes) --------------------------------
+
+fn npb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_npb"))
+        .args(args)
+        .output()
+        .expect("spawn npb driver")
+}
+
+#[test]
+fn driver_nan_injection_exits_1() {
+    let out = npb(&["ep", "--class", "S", "--inject", "nan:1"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn driver_injected_panic_with_retry_exits_0() {
+    // The ISSUE's chaos smoke: the first attempt dies on the injected
+    // panic, the retry runs clean and verifies.
+    let out = npb(&["ep", "--class", "S", "--threads", "2", "--inject", "panic:1", "--retries", "1"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("retrying"), "first attempt must have failed: {stderr}");
+}
+
+#[test]
+fn driver_injected_panic_without_retry_exits_1() {
+    let out = npb(&["ep", "--class", "S", "--threads", "2", "--inject", "panic:1"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn driver_usage_error_exits_2() {
+    let out = npb(&["ep", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,17 +1,31 @@
-//! Cross-crate property tests: randomized team sizes, grid shapes and
+//! Cross-crate property tests: seeded team sizes, grid shapes and
 //! problem instances against the invariants the suite relies on.
+//!
+//! Case generation is driven by the NPB linear-congruential generator
+//! (`npb_core::Randlc`) instead of a property-testing framework, so the
+//! whole suite is deterministic and builds offline with no external
+//! dependencies.
 
 use npb::{Partials, SharedMut, Team};
-use npb_core::Style;
-use proptest::prelude::*;
+use npb_core::{Randlc, Style};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn rng() -> Randlc {
+    Randlc::new(npb_core::SEED_DEFAULT)
+}
 
-    /// A team of any size computes the same prefix-partitioned map as
-    /// the serial path, for arbitrary lengths.
-    #[test]
-    fn team_map_matches_serial(n in 1usize..2000, threads in 1usize..9) {
+/// Uniform integer in `lo..hi` from the NPB stream.
+fn draw(rng: &mut Randlc, lo: usize, hi: usize) -> usize {
+    lo + (rng.next_f64() * (hi - lo) as f64) as usize
+}
+
+/// A team of any size computes the same prefix-partitioned map as
+/// the serial path, for sampled lengths.
+#[test]
+fn team_map_matches_serial() {
+    let mut rng = rng();
+    for _case in 0..16 {
+        let n = draw(&mut rng, 1, 2000);
+        let threads = draw(&mut rng, 1, 9);
         let mut serial = vec![0.0f64; n];
         for (i, v) in serial.iter_mut().enumerate() {
             *v = (i as f64).sin();
@@ -25,12 +39,17 @@ proptest! {
             }
         });
         drop(s);
-        prop_assert_eq!(serial, par);
+        assert_eq!(serial, par, "n {n}, threads {threads}");
     }
+}
 
-    /// Rank-ordered reduction is deterministic and exact for integers.
-    #[test]
-    fn reduction_is_exact_for_integers(n in 1usize..5000, threads in 1usize..7) {
+/// Rank-ordered reduction is deterministic and exact for integers.
+#[test]
+fn reduction_is_exact_for_integers() {
+    let mut rng = rng();
+    for _case in 0..16 {
+        let n = draw(&mut rng, 1, 5000);
+        let threads = draw(&mut rng, 1, 7);
         let team = Team::new(threads);
         let partials = Partials::new(threads);
         team.exec(|p| {
@@ -40,27 +59,40 @@ proptest! {
             }
             partials.set(p.tid(), s);
         });
-        prop_assert_eq!(partials.sum(), (n * (n - 1) / 2) as f64);
+        assert_eq!(partials.sum(), (n * (n - 1) / 2) as f64, "n {n}, threads {threads}");
     }
+}
 
-    /// The basic-op checksums agree across layouts and styles for
-    /// arbitrary (small) grids.
-    #[test]
-    fn cfd_ops_variants_agree(n1 in 5usize..14, n2 in 5usize..14, n3 in 5usize..14) {
-        use npb_cfd_ops::{run_op, Layout, Op, OpConfig};
-        let cfg = OpConfig { n1, n2, n3 };
+/// The basic-op checksums agree across layouts and styles for
+/// sampled (small) grids.
+#[test]
+fn cfd_ops_variants_agree() {
+    use npb_cfd_ops::{run_op, Layout, Op, OpConfig};
+    let mut rng = rng();
+    for _case in 0..16 {
+        let cfg = OpConfig {
+            n1: draw(&mut rng, 5, 14),
+            n2: draw(&mut rng, 5, 14),
+            n3: draw(&mut rng, 5, 14),
+        };
         for op in [Op::Assignment, Op::Stencil1, Op::ReductionSum] {
             let a = run_op(op, Layout::Linearized, Style::Opt, &cfg, None).checksum;
             let b = run_op(op, Layout::MultiDim, Style::Safe, &cfg, None).checksum;
             let tol = 1e-9 * a.abs().max(1.0);
-            prop_assert!((a - b).abs() <= tol, "{op:?}: {a} vs {b}");
+            assert!((a - b).abs() <= tol, "{op:?} on {cfg:?}: {a} vs {b}");
         }
     }
+}
 
-    /// LINPACK and blocked LU both solve random systems, any block size.
-    #[test]
-    fn lu_factorizations_solve(n in 1usize..60, nb in 1usize..70) {
-        use npb_jgf::{dgefa, dgesl, getrf_blocked, getrs, Matrix};
+/// LINPACK and blocked LU both solve seeded random systems, any block
+/// size.
+#[test]
+fn lu_factorizations_solve() {
+    use npb_jgf::{dgefa, dgesl, getrf_blocked, getrs, Matrix};
+    let mut rng = rng();
+    for _case in 0..16 {
+        let n = draw(&mut rng, 1, 60);
+        let nb = draw(&mut rng, 1, 70);
         let mut m1 = Matrix::random(n, 314159265.0);
         let mut b1 = m1.row_sums();
         let p1 = dgefa::<true>(&mut m1);
@@ -70,21 +102,25 @@ proptest! {
         let p2 = getrf_blocked::<true>(&mut m2, nb);
         getrs::<true>(&m2, &p2, &mut b2);
         for i in 0..n {
-            prop_assert!((b1[i] - 1.0).abs() < 1e-8, "dgefa x[{i}] = {}", b1[i]);
-            prop_assert!((b2[i] - 1.0).abs() < 1e-8, "blocked x[{i}] = {}", b2[i]);
+            assert!((b1[i] - 1.0).abs() < 1e-8, "n {n}: dgefa x[{i}] = {}", b1[i]);
+            assert!((b2[i] - 1.0).abs() < 1e-8, "n {n}, nb {nb}: blocked x[{i}] = {}", b2[i]);
         }
     }
+}
 
-    /// The NPB generator's jump-ahead matches stepping for arbitrary
-    /// offsets (the property EP/FT batch seeding relies on).
-    #[test]
-    fn rng_jump_matches_stepping(n in 0u64..3000) {
+/// The NPB generator's jump-ahead matches stepping for sampled
+/// offsets (the property EP/FT batch seeding relies on).
+#[test]
+fn rng_jump_matches_stepping() {
+    let mut rng = rng();
+    for _case in 0..24 {
+        let n = draw(&mut rng, 0, 3000) as u64;
         let mut a = npb_core::Randlc::new(npb_core::SEED_DEFAULT);
         a.jump(n);
         let mut b = npb_core::Randlc::new(npb_core::SEED_DEFAULT);
         for _ in 0..n {
             b.next_f64();
         }
-        prop_assert_eq!(a.seed.to_bits(), b.seed.to_bits());
+        assert_eq!(a.seed.to_bits(), b.seed.to_bits(), "jump({n})");
     }
 }

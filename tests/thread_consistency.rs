@@ -46,6 +46,59 @@ fn cg_zeta_within_tolerance_across_team_sizes() {
     }
 }
 
+/// Every benchmark at class S, serial vs teams of 1 / 2 / 4 threads.
+///
+/// The structured-grid codes (BT, SP, LU, FT) and the sort (IS) have no
+/// order-sensitive cross-thread reductions, so their verification values
+/// must reproduce **bitwise** at every team size. CG's dot products are
+/// reduced in rank order over identically-partitioned rows and come out
+/// bitwise-equal at class S too (checked empirically; asserted so a
+/// future change that breaks it is noticed). EP's Gaussian sums and MG's
+/// final residual norm genuinely depend on summation order, so they get
+/// the NPB verification tolerance instead, with the exactly-countable
+/// parts (EP's annulus counts) still asserted bitwise.
+#[test]
+fn every_benchmark_reproduces_across_serial_and_1_2_4_threads() {
+    let c = Class::S;
+    let s = Style::Opt;
+    let bt0 = npb_bt::run_raw(c, s, None);
+    let sp0 = npb_sp::run_raw(c, s, None);
+    let lu0 = npb_lu::run_raw(c, s, None);
+    let ft0 = npb_ft::run_raw(c, s, None);
+    let cg0 = npb_cg::run_raw(c, s, None);
+    let mg0 = npb_mg::run_raw(c, s, None);
+    let ep0 = npb_ep::run_raw(c, s, None);
+    assert!(npb_is::run(c, s, None).verified.is_success());
+
+    for n in [1usize, 2, 4] {
+        let team = Team::new(n);
+        let t = Some(&team);
+
+        let bt = npb_bt::run_raw(c, s, t);
+        assert_eq!((bt.xcr, bt.xce), (bt0.xcr, bt0.xce), "BT t{n}");
+        let sp = npb_sp::run_raw(c, s, t);
+        assert_eq!((sp.xcr, sp.xce), (sp0.xcr, sp0.xce), "SP t{n}");
+        let lu = npb_lu::run_raw(c, s, t);
+        assert_eq!((lu.xcr, lu.xce, lu.xci), (lu0.xcr, lu0.xce, lu0.xci), "LU t{n}");
+        let ft = npb_ft::run_raw(c, s, t);
+        assert_eq!(ft.sums, ft0.sums, "FT t{n}");
+        let cg = npb_cg::run_raw(c, s, t);
+        assert_eq!(cg.zeta, cg0.zeta, "CG t{n}");
+
+        // IS verifies exactly (integer ranks + partial checks).
+        assert!(npb_is::run(c, s, t).verified.is_success(), "IS t{n}");
+
+        // Order-sensitive reductions: NPB tolerance, not bitwise.
+        let mg = npb_mg::run_raw(c, s, t);
+        let rel = ((mg.rnm2 - mg0.rnm2) / mg0.rnm2).abs();
+        assert!(rel < 1e-12, "MG t{n}: rel = {rel}");
+        let ep = npb_ep::run_raw(c, s, t);
+        assert_eq!(ep.q, ep0.q, "EP t{n}: annulus counts are exact integers");
+        assert!(((ep.sx - ep0.sx) / ep0.sx).abs() < 1e-12, "EP t{n} sx");
+        assert!(((ep.sy - ep0.sy) / ep0.sy).abs() < 1e-12, "EP t{n} sy");
+    }
+}
+
 #[test]
 fn one_team_can_serve_many_benchmarks_in_sequence() {
     // The persistent master-worker team survives across whole benchmark
