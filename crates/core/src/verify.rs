@@ -1,30 +1,36 @@
 //! Verification outcomes and the NPB relative-error comparison.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
 
-/// One-shot NaN fault: when armed, the next computed quantity offered to
-/// [`rel_err_ok`] is replaced by NaN before comparison. This is the
-/// verification end of the runtime's deterministic fault injection
-/// (`--inject nan:<seed>`): every kernel funnels its verification through
-/// this comparison, so arming here corrupts "the kernel's output" as seen
-/// by the verifier without touching any kernel.
-static NAN_CORRUPTION: AtomicBool = AtomicBool::new(false);
-
-/// Arm the one-shot NaN corruption of the next verified quantity.
-pub fn arm_nan_corruption() {
-    NAN_CORRUPTION.store(true, Ordering::SeqCst);
+thread_local! {
+    /// One-shot NaN fault: when armed, the next computed quantity offered
+    /// to [`rel_err_ok`] *on this thread* is replaced by NaN before
+    /// comparison. This is the verification end of the runtime's
+    /// deterministic fault injection (`--inject nan:<seed>`): every
+    /// kernel funnels its verification through this comparison, so arming
+    /// here corrupts "the kernel's output" as seen by the verifier
+    /// without touching any kernel. Thread-local rather than
+    /// process-global so concurrent benchmark runs (e.g. parallel tests
+    /// in one binary) cannot steal or trip each other's armed fault.
+    static NAN_CORRUPTION: Cell<bool> = const { Cell::new(false) };
 }
 
-/// True while a NaN corruption is armed but not yet consumed.
+/// Arm the one-shot NaN corruption of the next quantity verified **on the
+/// calling thread**. Kernels verify on the thread that drives the
+/// benchmark, so arm on the same thread that will call
+/// `try_run_benchmark` (the driver and the chaos tests do).
+pub fn arm_nan_corruption() {
+    NAN_CORRUPTION.with(|c| c.set(true));
+}
+
+/// True while a NaN corruption is armed on this thread but not consumed.
 pub fn nan_corruption_armed() -> bool {
-    NAN_CORRUPTION.load(Ordering::SeqCst)
+    NAN_CORRUPTION.with(|c| c.get())
 }
 
 #[inline]
 fn take_nan_corruption() -> bool {
-    // Cheap relaxed fast path: verification runs after the timed section,
-    // but rel_err_ok is also called in tight test loops.
-    NAN_CORRUPTION.load(Ordering::Relaxed) && NAN_CORRUPTION.swap(false, Ordering::SeqCst)
+    NAN_CORRUPTION.with(|c| c.replace(false))
 }
 
 /// Outcome of a benchmark's built-in verification.

@@ -9,7 +9,10 @@
 //! * **panic** — the victim rank's region body unwinds at region entry,
 //!   exercising barrier poisoning, region draining and team healing;
 //! * **delay** — the victim rank sleeps before its next barrier,
-//!   exercising the watchdog and proving barriers tolerate stragglers;
+//!   proving barriers tolerate stragglers without deadlocking;
+//! * **hang** — the victim rank wedges forever at region entry,
+//!   exercising the watchdog (which terminates the process, naming the
+//!   stuck ranks);
 //! * **nan** — the next verification comparison sees a NaN computed
 //!   value, exercising the `Verified::Failure` → nonzero-exit path.
 //!
@@ -27,6 +30,8 @@ pub enum FaultKind {
     Panic,
     /// Sleep the victim rank before its next barrier.
     Delay,
+    /// Wedge the victim rank forever at region entry (watchdog bait).
+    Hang,
     /// Corrupt the next verified quantity to NaN.
     Nan,
 }
@@ -55,7 +60,7 @@ impl FaultPlan {
         FaultPlan { kind, seed, state }
     }
 
-    /// Parse a driver spec: `panic`, `delay` or `nan`, optionally
+    /// Parse a driver spec: `panic`, `delay`, `hang` or `nan`, optionally
     /// followed by `:<seed>` (default seed 1).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let (kind, seed) = match spec.split_once(':') {
@@ -70,9 +75,12 @@ impl FaultPlan {
         let kind = match kind {
             "panic" => FaultKind::Panic,
             "delay" => FaultKind::Delay,
+            "hang" => FaultKind::Hang,
             "nan" => FaultKind::Nan,
             other => {
-                return Err(format!("unknown fault kind {other:?} (expected panic|delay|nan)"))
+                return Err(format!(
+                    "unknown fault kind {other:?} (expected panic|delay|hang|nan)"
+                ))
             }
         };
         Ok(FaultPlan::new(kind, seed))
@@ -98,9 +106,11 @@ impl FaultPlan {
         20 + (self.draw(1) * 180.0) as u64
     }
 
-    /// Arm the fault. Panic and delay faults arm on `team` (they need a
-    /// worker to victimize); the NaN fault arms the process-global
-    /// verification corruption hook in `npb-core`.
+    /// Arm the fault. Panic, delay and hang faults arm on `team` (they
+    /// need a worker to victimize); the NaN fault arms the calling
+    /// thread's verification corruption hook in `npb-core` (kernels
+    /// verify on the thread that drives the benchmark, so arm from that
+    /// same thread).
     ///
     /// Errors if the fault needs a team and none was given (serial runs
     /// have no worker to kill).
@@ -110,7 +120,7 @@ impl FaultPlan {
                 npb_core::arm_nan_corruption();
                 Ok(())
             }
-            FaultKind::Panic | FaultKind::Delay => match team {
+            FaultKind::Panic | FaultKind::Delay | FaultKind::Hang => match team {
                 Some(t) => {
                     t.arm_fault(self);
                     Ok(())
@@ -132,6 +142,7 @@ mod tests {
     fn parse_accepts_all_kinds_and_defaults_seed() {
         assert_eq!(FaultPlan::parse("panic:7").unwrap().kind, FaultKind::Panic);
         assert_eq!(FaultPlan::parse("delay").unwrap().seed, 1);
+        assert_eq!(FaultPlan::parse("hang:2").unwrap().kind, FaultKind::Hang);
         assert_eq!(FaultPlan::parse("nan:3").unwrap().seed, 3);
         assert!(FaultPlan::parse("explode").is_err());
         assert!(FaultPlan::parse("panic:x").is_err());

@@ -33,9 +33,10 @@
 //! PRs past the seed grew this into a fault-tolerant substrate: region
 //! bodies that panic poison the barrier (so siblings unwind instead of
 //! deadlocking), [`Team::try_exec`] reports structured [`RegionError`]s,
-//! a watchdog timeout names the ranks that never arrived, and a seeded
-//! [`FaultPlan`] injects deterministic panics/delays/NaNs for chaos
-//! testing.
+//! a watchdog timeout names the ranks that never arrived (and terminates
+//! the process, since a stuck rank can be neither killed nor safely
+//! abandoned), and a seeded [`FaultPlan`] injects deterministic
+//! panics/delays/hangs/NaNs for chaos testing.
 
 mod inject;
 mod partials;
@@ -47,4 +48,7 @@ pub use inject::{FaultKind, FaultPlan};
 pub use partials::Partials;
 pub use partition::partition;
 pub use shared::SharedMut;
-pub use team::{run_par, BarrierPoisoned, FailurePolicy, InjectedFault, Par, RegionError, Team};
+pub use team::{
+    run_par, BarrierPoisoned, FailurePolicy, InjectedFault, Par, RegionError, Team,
+    WATCHDOG_EXIT_CODE,
+};

@@ -4,10 +4,11 @@
 //! the master's wait, and worker respawn) so one dying or stalling worker
 //! cannot wedge the whole suite.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -25,14 +26,18 @@ pub enum RegionError {
     },
     /// The watchdog timeout elapsed before every rank finished the
     /// region. `stuck_ranks` never reported completion; the team has been
-    /// rebuilt and the stragglers abandoned.
+    /// rebuilt and the stragglers abandoned. Only produced in the
+    /// straggler-abandoning watchdog mode
+    /// ([`Team::set_region_timeout_abandoning`], which is `unsafe`); the
+    /// safe watchdog ([`Team::set_region_timeout`]) terminates the
+    /// process instead of returning this.
     Timeout {
         /// Ranks that never arrived, in ascending order.
         stuck_ranks: Vec<usize>,
     },
-    /// The team's dispatch state was unavailable: `exec` was re-entered
-    /// from inside a region, raced from another thread, or a previous
-    /// master panicked mid-dispatch.
+    /// The team's dispatch state was unusable: `exec` was re-entered
+    /// from inside one of this team's own region bodies, or the job slot
+    /// was left corrupt by an earlier failure.
     Poisoned,
 }
 
@@ -47,7 +52,7 @@ impl std::fmt::Display for RegionError {
                 write!(f, "region watchdog timeout: ranks {stuck_ranks:?} never arrived")
             }
             RegionError::Poisoned => {
-                write!(f, "team dispatch state poisoned (reentrant or concurrent exec)")
+                write!(f, "team dispatch state poisoned (exec re-entered from inside a region)")
             }
         }
     }
@@ -74,9 +79,30 @@ pub struct BarrierPoisoned;
 /// Panic payload for faults injected by a [`crate::FaultPlan`].
 pub struct InjectedFault;
 
-pub(crate) const FAULT_NONE: u8 = 0;
+/// Process exit status used by the safe watchdog ([`Team::set_region_timeout`])
+/// when a region times out: stuck ranks can be neither killed nor safely
+/// abandoned (the region body borrows from the master's caller), so the
+/// process terminates with this code instead of hanging or returning.
+pub const WATCHDOG_EXIT_CODE: i32 = 3;
+
 pub(crate) const FAULT_PANIC: u8 = 1;
 pub(crate) const FAULT_DELAY: u8 = 2;
+pub(crate) const FAULT_HANG: u8 = 3;
+
+/// Pack a fault kind and its victim rank into one word (kind in bits
+/// 0..8, victim in bits 8..64) so workers read and clear both with a
+/// single atomic operation — the pairing can never tear.
+const fn pack_fault(kind: u8, victim: usize) -> u64 {
+    ((victim as u64) << 8) | kind as u64
+}
+
+thread_local! {
+    /// `Arc::as_ptr` address of the [`Inner`] this thread serves as a
+    /// worker (0 on every other thread). `try_exec` uses it to detect a
+    /// region body calling back into its own team — which would deadlock
+    /// on the state lock the master holds for the whole region.
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
 
 /// Erased pointer to the current region's body.
 #[derive(Clone, Copy)]
@@ -116,9 +142,11 @@ struct Inner {
     done_cv: Condvar,
     barrier: Mutex<BarrierState>,
     barrier_cv: Condvar,
-    /// One-shot fault-injection slot (see [`crate::FaultPlan`]).
-    fault_kind: AtomicU8,
-    fault_victim: AtomicUsize,
+    /// One-shot fault-injection slot (see [`crate::FaultPlan`]): kind and
+    /// victim packed by [`pack_fault`], 0 when disarmed. Armed with a
+    /// Release store so the Acquire CAS in [`Inner::take_fault`] also
+    /// makes `fault_delay_ms` visible to the winning rank.
+    fault: AtomicU64,
     fault_delay_ms: AtomicU64,
 }
 
@@ -132,13 +160,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 impl Inner {
     /// Consume the armed fault if it targets `(kind, tid)`.
     fn take_fault(&self, kind: u8, tid: usize) -> bool {
-        if self.fault_kind.load(Ordering::Relaxed) != kind
-            || self.fault_victim.load(Ordering::Relaxed) != tid
-        {
+        let want = pack_fault(kind, tid);
+        // Cheap fast path for the common no-fault case.
+        if self.fault.load(Ordering::Relaxed) != want {
             return false;
         }
-        self.fault_kind
-            .compare_exchange(kind, FAULT_NONE, Ordering::SeqCst, Ordering::Relaxed)
+        self.fault
+            .compare_exchange(want, 0, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
     }
 }
@@ -162,15 +190,24 @@ struct TeamState {
 /// [`Par::barrier`], which unwind cleanly), the region drains, and
 /// [`Team::try_exec`] reports [`RegionError::Panicked`]. A configurable
 /// watchdog ([`Team::set_region_timeout`], or `NPB_REGION_TIMEOUT_MS`)
-/// bounds the master's wait and reports *which* ranks never arrived.
-/// After any failed region the team heals itself per its
-/// [`FailurePolicy`], so the next region runs normally.
+/// bounds the master's wait and names *which* ranks never arrived before
+/// terminating the process (stuck ranks cannot be killed or safely
+/// abandoned; see [`Team::set_region_timeout_abandoning`] for the
+/// `unsafe` in-process alternative). After a panicked region the team
+/// heals itself per its [`FailurePolicy`], so the next region runs
+/// normally.
 pub struct Team {
     state: Mutex<TeamState>,
+    /// `Arc::as_ptr` address of the current `state.inner`, readable
+    /// without the state lock; compared against [`WORKER_OF`] to detect
+    /// reentrant `exec` without deadlocking on the state lock.
+    inner_addr: AtomicUsize,
     /// Current width, readable without the state lock.
     width: AtomicUsize,
     /// Watchdog for the master's region wait, in ms; 0 = disabled.
     timeout_ms: AtomicU64,
+    /// 1 = the unsafe straggler-abandoning watchdog mode is armed.
+    abandon: AtomicU8,
     /// 0 = Respawn, 1 = Degrade.
     degrade: AtomicU8,
 }
@@ -276,8 +313,7 @@ fn spawn_team(n: usize) -> TeamState {
         done_cv: Condvar::new(),
         barrier: Mutex::new(BarrierState { count: 0, generation: 0, poisoned: false }),
         barrier_cv: Condvar::new(),
-        fault_kind: AtomicU8::new(FAULT_NONE),
-        fault_victim: AtomicUsize::new(0),
+        fault: AtomicU64::new(0),
         fault_delay_ms: AtomicU64::new(0),
     });
     let handles = (0..n).map(|tid| spawn_worker(&inner, tid, 0)).collect();
@@ -288,7 +324,12 @@ fn spawn_worker(inner: &Arc<Inner>, tid: usize, epoch: u64) -> JoinHandle<()> {
     let inner = Arc::clone(inner);
     std::thread::Builder::new()
         .name(format!("npb-worker-{tid}"))
-        .spawn(move || worker_loop(&inner, tid, epoch))
+        .spawn(move || {
+            // A worker serves exactly one team for its whole life; mark
+            // the thread so try_exec can recognize its own workers.
+            WORKER_OF.with(|w| w.set(Arc::as_ptr(&inner) as usize));
+            worker_loop(&inner, tid, epoch)
+        })
         .expect("failed to spawn worker thread")
 }
 
@@ -296,17 +337,21 @@ impl Team {
     /// Spawn a team of `n` persistent workers (`n >= 1`).
     ///
     /// If `NPB_REGION_TIMEOUT_MS` is set to a positive integer, the
-    /// watchdog starts enabled at that value.
+    /// (safe, process-terminating) watchdog starts enabled at that value.
     pub fn new(n: usize) -> Team {
         assert!(n >= 1, "a team needs at least one worker");
         let timeout_ms = std::env::var("NPB_REGION_TIMEOUT_MS")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(0);
+        let state = spawn_team(n);
+        let inner_addr = Arc::as_ptr(&state.inner) as usize;
         Team {
-            state: Mutex::new(spawn_team(n)),
+            state: Mutex::new(state),
+            inner_addr: AtomicUsize::new(inner_addr),
             width: AtomicUsize::new(n),
             timeout_ms: AtomicU64::new(timeout_ms),
+            abandon: AtomicU8::new(0),
             degrade: AtomicU8::new(0),
         }
     }
@@ -319,9 +364,40 @@ impl Team {
 
     /// Set (or disable, with `None`) the watchdog on the master's wait
     /// for region completion.
+    ///
+    /// When the watchdog fires it prints which ranks never arrived and
+    /// **terminates the process** with [`WATCHDOG_EXIT_CODE`]. It cannot
+    /// do less and stay sound: a stuck rank cannot be killed, and the
+    /// region body it may still be executing borrows data from
+    /// `try_exec`'s caller — returning would let a merely-slow rank
+    /// resume over freed memory. Terminating keeps every caller frame
+    /// alive for as long as any straggler can run, and still turns a
+    /// silent hang into a fast, diagnosable failure.
     pub fn set_region_timeout(&self, timeout: Option<Duration>) {
         let ms = timeout.map_or(0, |d| d.as_millis().max(1) as u64);
         self.timeout_ms.store(ms, Ordering::Relaxed);
+        self.abandon.store(0, Ordering::Relaxed);
+    }
+
+    /// Like [`Team::set_region_timeout`], but on timeout the stragglers
+    /// are *abandoned in-process*: `try_exec` leaks the region closure,
+    /// rebuilds the team per its [`FailurePolicy`], and returns
+    /// [`RegionError::Timeout`] naming the stuck ranks, so the caller
+    /// can keep going without the process dying.
+    ///
+    /// # Safety
+    ///
+    /// An abandoned rank is not killed — if it is merely slow (rather
+    /// than permanently wedged) it resumes after `try_exec` has
+    /// returned and keeps executing the region body. The caller must
+    /// guarantee that **everything borrowed by every region run while
+    /// this mode is armed outlives the abandoned stragglers** (in
+    /// practice: `'static` or intentionally leaked data), otherwise a
+    /// resumed straggler is a use-after-free.
+    pub unsafe fn set_region_timeout_abandoning(&self, timeout: Option<Duration>) {
+        let ms = timeout.map_or(0, |d| d.as_millis().max(1) as u64);
+        self.timeout_ms.store(ms, Ordering::Relaxed);
+        self.abandon.store(1, Ordering::Relaxed);
     }
 
     /// Choose what happens to the team after a failed region.
@@ -339,11 +415,14 @@ impl Team {
         let kind = match plan.kind {
             crate::FaultKind::Panic => FAULT_PANIC,
             crate::FaultKind::Delay => FAULT_DELAY,
+            crate::FaultKind::Hang => FAULT_HANG,
             crate::FaultKind::Nan => return,
         };
-        inner.fault_victim.store(plan.victim(inner.n), Ordering::SeqCst);
-        inner.fault_delay_ms.store(plan.delay_ms(), Ordering::SeqCst);
-        inner.fault_kind.store(kind, Ordering::SeqCst);
+        inner.fault_delay_ms.store(plan.delay_ms(), Ordering::Relaxed);
+        // Kind and victim publish as one Release-stored word, so a
+        // worker can never pair a new kind with a stale victim (and the
+        // Acquire CAS in take_fault makes the delay store visible too).
+        inner.fault.store(pack_fault(kind, plan.victim(inner.n)), Ordering::Release);
     }
 
     /// Run `f` on every worker as one parallel region.
@@ -368,26 +447,23 @@ impl Team {
     /// full width, or shrunk under [`FailurePolicy::Degrade`]) and can
     /// run further regions.
     ///
-    /// On [`RegionError::Timeout`] the stuck ranks are abandoned, not
-    /// killed: the region closure is leaked so a straggler that resumes
-    /// never touches freed closure memory, but data the region borrowed
-    /// from the caller must outlive the team for a resumed straggler to
-    /// be sound. The watchdog is meant for ranks that are permanently
-    /// wedged (deadlock, livelock), which is exactly when that caveat is
-    /// vacuous.
+    /// Distinct threads may share a `&Team`; their regions serialize on
+    /// an internal lock. Calling back into `exec`/`try_exec` from
+    /// *inside* a region body of the same team is reentrancy and
+    /// reports [`RegionError::Poisoned`].
     pub fn try_exec<F>(&self, f: F) -> Result<(), RegionError>
     where
         F: Fn(Par<'_>) + Sync,
     {
-        // The state lock is the reentrancy/concurrency guard: a worker
-        // calling exec from inside a region (the master holds the lock
-        // for the whole region) or a second master racing this one gets
-        // `Poisoned` instead of corrupting the job slot.
-        let mut st = match self.state.try_lock() {
-            Ok(g) => g,
-            Err(TryLockError::Poisoned(p)) => p.into_inner(),
-            Err(TryLockError::WouldBlock) => return Err(RegionError::Poisoned),
-        };
+        // Reentrancy guard: a region body runs on one of this team's own
+        // worker threads, and the master holds the state lock for the
+        // whole region — calling back in would deadlock, so report it
+        // by thread identity instead. Other threads fall through and
+        // legitimately serialize on the lock.
+        if WORKER_OF.with(|w| w.get()) == self.inner_addr.load(Ordering::Relaxed) {
+            return Err(RegionError::Poisoned);
+        }
+        let mut st = lock(&self.state);
         let inner = Arc::clone(&st.inner);
         let n = inner.n;
 
@@ -405,6 +481,14 @@ impl Team {
         let wrapper: Box<dyn Fn(usize) + Sync + '_> = Box::new(move |tid| {
             if inner_ref.take_fault(FAULT_PANIC, tid) {
                 std::panic::panic_any(InjectedFault);
+            }
+            if inner_ref.take_fault(FAULT_HANG, tid) {
+                // Wedge this rank forever: the hang fault exists to
+                // exercise the watchdog, which terminates the process
+                // (or, in abandoning mode, strands this thread).
+                loop {
+                    std::thread::park();
+                }
             }
             f(Par { tid, n, team: Some(inner_ref) });
         });
@@ -436,8 +520,26 @@ impl Team {
                     if now >= d {
                         let stuck: Vec<usize> =
                             (0..n).filter(|&t| !job.arrived[t]).collect();
-                        // Tell idle/late workers of the old team to exit,
-                        // and release any of them blocked in the barrier.
+                        if self.abandon.load(Ordering::Relaxed) == 0 {
+                            // Safe watchdog: we cannot kill a stuck rank
+                            // and we must not return while it may still
+                            // run the region body (which borrows from
+                            // our caller's frames) — so terminate the
+                            // process. No frame is ever popped, so a
+                            // merely-slow straggler never touches freed
+                            // memory.
+                            eprintln!(
+                                "npb region watchdog: timeout after {timeout_ms} ms; \
+                                 ranks {stuck:?} never arrived; terminating"
+                            );
+                            std::process::exit(WATCHDOG_EXIT_CODE);
+                        }
+                        // Unsafe abandoning mode (the caller promised
+                        // the region's borrows outlive the stragglers;
+                        // see set_region_timeout_abandoning). Tell
+                        // idle/late workers of the old team to exit,
+                        // and release any of them blocked in the
+                        // barrier.
                         job.shutdown = true;
                         inner.work_cv.notify_all();
                         drop(job);
@@ -457,6 +559,8 @@ impl Team {
                         // Abandon the old team wholesale (dropping the
                         // handles detaches the threads) and start fresh.
                         *st = spawn_team(width);
+                        self.inner_addr
+                            .store(Arc::as_ptr(&st.inner) as usize, Ordering::Relaxed);
                         self.width.store(width, Ordering::Relaxed);
                         return Err(RegionError::Timeout { stuck_ranks: stuck });
                     }
@@ -495,6 +599,7 @@ impl Team {
                 let _ = h.join();
             }
             *st = spawn_team(width);
+            self.inner_addr.store(Arc::as_ptr(&st.inner) as usize, Ordering::Relaxed);
             self.width.store(width, Ordering::Relaxed);
             return;
         }
@@ -747,6 +852,27 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_exec_from_other_threads_serializes() {
+        // Two non-worker threads sharing a &Team must both succeed
+        // (serializing on the state lock), not get Poisoned.
+        let team = Team::new(2);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        team.try_exec(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .expect("cross-thread exec is contention, not reentrancy");
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2 * 20 * 2);
+    }
+
+    #[test]
     fn degrade_policy_shrinks_after_panic() {
         let team = Team::new(4);
         team.set_failure_policy(FailurePolicy::Degrade);
@@ -770,9 +896,10 @@ mod tests {
     #[test]
     fn watchdog_reports_stuck_ranks_and_team_recovers() {
         // The stuck region body only touches leaked ('static) state, as
-        // the timeout contract requires.
+        // the abandoning mode's safety contract requires.
         let team = Team::new(3);
-        team.set_region_timeout(Some(Duration::from_millis(100)));
+        // SAFETY: the region below borrows only the leaked `gate`.
+        unsafe { team.set_region_timeout_abandoning(Some(Duration::from_millis(100))) };
         let gate: &'static (Mutex<bool>, Condvar) =
             Box::leak(Box::new((Mutex::new(false), Condvar::new())));
         let err = team

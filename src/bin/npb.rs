@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! npb <BENCH|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]
-//!                 [--timeout MS] [--inject panic|delay|nan[:SEED]] [--retries N]
+//!                 [--timeout MS] [--inject panic|delay|hang|nan[:SEED]] [--retries N]
 //! ```
 //!
 //! `--threads 0` (default) is the pure serial path.
@@ -10,18 +10,20 @@
 //! Fault tolerance:
 //!
 //! * `--timeout MS` arms the region watchdog: a parallel region that does
-//!   not complete within MS milliseconds fails with the list of stuck
-//!   ranks (`NPB_REGION_TIMEOUT_MS` sets the same default from the
-//!   environment).
+//!   not complete within MS milliseconds terminates the process with exit
+//!   code 3, naming the stuck ranks (a stuck rank can be neither killed
+//!   nor safely abandoned, so the watchdog turns a silent hang into a
+//!   fast, diagnosable death; `NPB_REGION_TIMEOUT_MS` sets the same
+//!   default from the environment).
 //! * `--inject KIND[:SEED]` arms one deterministic fault (worker panic,
-//!   barrier delay, or NaN corruption of a verified quantity) before the
-//!   first attempt of each benchmark.
+//!   barrier delay, a rank wedged forever, or NaN corruption of a
+//!   verified quantity) before the first attempt of each benchmark.
 //! * `--retries N` reruns a benchmark whose parallel region failed, up to
 //!   N times (injected faults are one-shot, so a retry runs clean).
 //!
 //! Exit codes: 0 all benchmarks verified; 1 a benchmark failed
 //! verification or its region failed beyond the retry budget; 2 usage
-//! error.
+//! error; 3 the region watchdog fired.
 
 use std::time::Duration;
 
@@ -30,7 +32,7 @@ use npb::{try_run_benchmark, Class, FaultPlan, RunError, RunOptions, Style, BENC
 fn usage() -> ! {
     eprintln!(
         "usage: npb <{}|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
-         \x20          [--timeout MS] [--inject panic|delay|nan[:SEED]] [--retries N]",
+         \x20          [--timeout MS] [--inject panic|delay|hang|nan[:SEED]] [--retries N]",
         BENCHMARKS.join("|")
     );
     std::process::exit(2);

@@ -25,7 +25,7 @@
 pub use npb_core::{BenchReport, Class, Style, Verified};
 pub use npb_runtime::{
     BarrierPoisoned, FailurePolicy, FaultKind, FaultPlan, InjectedFault, Par, Partials,
-    RegionError, SharedMut, Team,
+    RegionError, SharedMut, Team, WATCHDOG_EXIT_CODE,
 };
 
 use std::time::Duration;
@@ -50,8 +50,10 @@ impl std::error::Error for UnknownBenchmark {}
 pub enum RunError {
     /// The benchmark name is not one of [`BENCHMARKS`].
     Unknown(UnknownBenchmark),
-    /// A parallel region failed (worker panic, watchdog timeout, or a
-    /// poisoned dispatch); the structured error says which ranks.
+    /// A parallel region failed (worker panic, or a poisoned dispatch);
+    /// the structured error says which ranks. A watchdog timeout never
+    /// reaches here — it terminates the process with
+    /// [`WATCHDOG_EXIT_CODE`] (see [`Team::set_region_timeout`]).
     Region(RegionError),
     /// The requested options are inconsistent (e.g. a worker fault
     /// injected into a serial run).
@@ -75,7 +77,8 @@ impl std::error::Error for RunError {}
 pub struct RunOptions<'p> {
     /// Watchdog on each parallel region's completion (overrides the
     /// `NPB_REGION_TIMEOUT_MS` environment default). `None` keeps the
-    /// team's own default.
+    /// team's own default. When it fires, the process terminates with
+    /// [`WATCHDOG_EXIT_CODE`] naming the stuck ranks.
     pub timeout: Option<Duration>,
     /// A deterministic fault to arm before the run (one-shot).
     pub inject: Option<&'p FaultPlan>,

@@ -171,3 +171,16 @@ fn driver_usage_error_exits_2() {
     let out = npb(&["ep", "--bogus"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn driver_watchdog_timeout_terminates_with_watchdog_exit_code() {
+    // A hang-injected rank wedges at region entry; the safe watchdog
+    // cannot kill or abandon it, so it must terminate the process with
+    // the dedicated exit code, naming the stuck rank.
+    let out = npb(&[
+        "ep", "--class", "S", "--threads", "2", "--inject", "hang:1", "--timeout", "500",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(npb::WATCHDOG_EXIT_CODE), "stderr: {stderr}");
+    assert!(stderr.contains("never arrived"), "stderr: {stderr}");
+}
