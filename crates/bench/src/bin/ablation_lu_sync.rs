@@ -18,7 +18,10 @@ use std::time::Instant;
 fn main() {
     let args = HarnessArgs::parse(&[1, 2, 4]);
     header(
-        &format!("Ablation: LU per-plane pipeline sync vs BT per-region barriers (class {})", args.class),
+        &format!(
+            "Ablation: LU per-plane pipeline sync vs BT per-region barriers (class {})",
+            args.class
+        ),
         "reps x (lower+upper sweeps) for LU vs reps x (x+y+z solves) for BT",
     );
     let reps = 20;
@@ -40,11 +43,11 @@ fn main() {
     exact_rhs(&mut bf, &bc);
     compute_rhs::<false, false>(&mut bf, &bc, None);
 
-    println!("{:<28} {}", "sweep", args
-        .threads
-        .iter()
-        .map(|&t| format!("{:>12}", ttag(t)))
-        .collect::<String>());
+    println!(
+        "{:<28} {}",
+        "sweep",
+        args.threads.iter().map(|&t| format!("{:>12}", ttag(t))).collect::<String>()
+    );
 
     let mut lu_row = format!("{:<28}", "LU lower+upper (pipelined)");
     let mut bt_row = format!("{:<28}", "BT x+y+z (barriers)");

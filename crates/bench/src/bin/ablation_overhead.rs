@@ -33,7 +33,10 @@ fn main() {
         ("EP", npb_ep::run as RunFn),
     ];
 
-    println!("{:<6} {:>10} {:>10} {:>10} {:>12} {:>12}", "bench", "serial", "1 thr", "2 thr", "ovh(1)%", "ovh(2)%");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "bench", "serial", "1 thr", "2 thr", "ovh(1)%", "ovh(2)%"
+    );
     for (name, run) in benches {
         let s = cell(name, args.class, Style::Opt, 0, run).time_secs;
         let t1 = cell(name, args.class, Style::Opt, 1, run).time_secs;

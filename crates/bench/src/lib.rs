@@ -96,9 +96,7 @@ pub fn cell(
     run: impl Fn(Class, Style, Option<&Team>) -> BenchReport,
 ) -> BenchReport {
     let report = with_team(threads, |team| run(class, style, team));
-    if !report.verified.is_success()
-        && report.verified != npb_core::Verified::NotPerformed
-    {
+    if !report.verified.is_success() && report.verified != npb_core::Verified::NotPerformed {
         eprintln!("WARNING: {name} {class} {} t{threads} failed verification", style.label());
     }
     report

@@ -47,11 +47,7 @@ impl BtState {
     /// Set up the problem for `class`.
     pub fn new(class: Class) -> BtState {
         let p = BtParams::for_class(class);
-        BtState {
-            p,
-            consts: Consts::new(p.n, p.n, p.n, p.dt),
-            fields: Fields::new(p.n, p.n, p.n),
-        }
+        BtState { p, consts: Consts::new(p.n, p.n, p.n, p.dt), fields: Fields::new(p.n, p.n, p.n) }
     }
 
     /// One ADI time step.

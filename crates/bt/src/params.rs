@@ -29,8 +29,7 @@ impl BtParams {
     /// NPB's cubic op-count model for BT's Mop/s.
     pub fn mops(&self, secs: f64) -> f64 {
         let n = self.n as f64;
-        (3478.8 * n * n * n - 17655.7 * n * n + 28023.7 * n - 78864.8) * self.niter as f64
-            * 1.0e-6
+        (3478.8 * n * n * n - 17655.7 * n * n + 28023.7 * n - 78864.8) * self.niter as f64 * 1.0e-6
             / secs.max(1e-12)
     }
 }
@@ -60,9 +59,9 @@ pub fn reference(class: Class) -> Option<VerifySet> {
         }),
         Class::W => Some(VerifySet {
             dt: 0.0008,
-        // regenerated: true — class W constants pinned from the serial
-        // opt build (DESIGN.md verification policy); they guard style,
-        // thread-count and regression consistency.
+            // regenerated: true — class W constants pinned from the serial
+            // opt build (DESIGN.md verification policy); they guard style,
+            // thread-count and regression consistency.
             xcr: [
                 1.1255904093440384e+2,
                 1.1800075957307536e+1,

@@ -296,8 +296,10 @@ mod tests {
                 }
             }
         }
-        let b: Vec<f64> =
-            (0..n).flat_map(|i| (0..5).map(move |m| (i, m))).map(|(i, m)| f.rhs[f.idx5(m, i, j, k)]).collect();
+        let b: Vec<f64> = (0..n)
+            .flat_map(|i| (0..5).map(move |m| (i, m)))
+            .map(|(i, m)| f.rhs[f.idx5(m, i, j, k)])
+            .collect();
         // Dense Gaussian elimination with partial pivoting.
         let mut a = dense;
         let mut x = b;

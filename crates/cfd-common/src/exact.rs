@@ -47,11 +47,9 @@ pub fn initialize(f: &mut Fields, c: &Consts) {
                     let pxi = xi * pface[1][m] + (1.0 - xi) * pface[0][m];
                     let peta = eta * pface[3][m] + (1.0 - eta) * pface[2][m];
                     let pzeta = zeta * pface[5][m] + (1.0 - zeta) * pface[4][m];
-                    f.u[crate::fields::idx5(nx, ny, m, i, j, k)] = pxi + peta + pzeta
-                        - pxi * peta
-                        - pxi * pzeta
-                        - peta * pzeta
-                        + pxi * peta * pzeta;
+                    f.u[crate::fields::idx5(nx, ny, m, i, j, k)] =
+                        pxi + peta + pzeta - pxi * peta - pxi * pzeta - peta * pzeta
+                            + pxi * peta * pzeta;
                 }
             }
         }
@@ -104,12 +102,7 @@ struct Pencil {
 
 impl Pencil {
     fn new(n: usize) -> Pencil {
-        Pencil {
-            ue: vec![[0.0; 5]; n],
-            buf: vec![[0.0; 5]; n],
-            cuf: vec![0.0; n],
-            q: vec![0.0; n],
-        }
+        Pencil { ue: vec![[0.0; 5]; n], buf: vec![[0.0; 5]; n], cuf: vec![0.0; n], q: vec![0.0; n] }
     }
 }
 

@@ -140,4 +140,3 @@ pub fn jac_z(c: &Consts, u: &[f64; 5], qs: f64, square: f64, fj: &mut Block, nj:
     nj[4][3] = (c.con43 * c.c3c4 - c.c1345) * tmp2 * u[3];
     nj[4][4] = c.c1345 * tmp1;
 }
-

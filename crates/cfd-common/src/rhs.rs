@@ -130,11 +130,8 @@ pub fn compute_rhs<const SAFE: bool, const SPEED: bool>(
                             + c.xxcon4 * (up1 * up1 - 2.0 * uijk * uijk + um1 * um1)
                             + c.xxcon5
                                 * (u5(4, i + 1, j, k) * rho_i.get::<SAFE>(s_id(i + 1, j, k))
-                                    - 2.0
-                                        * u5(4, i, j, k)
-                                        * rho_i.get::<SAFE>(s_id(i, j, k))
-                                    + u5(4, i - 1, j, k)
-                                        * rho_i.get::<SAFE>(s_id(i - 1, j, k)))
+                                    - 2.0 * u5(4, i, j, k) * rho_i.get::<SAFE>(s_id(i, j, k))
+                                    + u5(4, i - 1, j, k) * rho_i.get::<SAFE>(s_id(i - 1, j, k)))
                             - c.tx2
                                 * ((c.c1 * u5(4, i + 1, j, k)
                                     - c.c2 * square.get::<SAFE>(s_id(i + 1, j, k)))
@@ -244,11 +241,8 @@ pub fn compute_rhs<const SAFE: bool, const SPEED: bool>(
                             + c.yycon4 * (vp1 * vp1 - 2.0 * vijk * vijk + vm1 * vm1)
                             + c.yycon5
                                 * (u5(4, i, j + 1, k) * rho_i.get::<SAFE>(s_id(i, j + 1, k))
-                                    - 2.0
-                                        * u5(4, i, j, k)
-                                        * rho_i.get::<SAFE>(s_id(i, j, k))
-                                    + u5(4, i, j - 1, k)
-                                        * rho_i.get::<SAFE>(s_id(i, j - 1, k)))
+                                    - 2.0 * u5(4, i, j, k) * rho_i.get::<SAFE>(s_id(i, j, k))
+                                    + u5(4, i, j - 1, k) * rho_i.get::<SAFE>(s_id(i, j - 1, k)))
                             - c.ty2
                                 * ((c.c1 * u5(4, i, j + 1, k)
                                     - c.c2 * square.get::<SAFE>(s_id(i, j + 1, k)))
@@ -361,11 +355,8 @@ pub fn compute_rhs<const SAFE: bool, const SPEED: bool>(
                             + c.zzcon4 * (wp1 * wp1 - 2.0 * wijk * wijk + wm1 * wm1)
                             + c.zzcon5
                                 * (u5(4, i, j, k + 1) * rho_i.get::<SAFE>(s_id(i, j, k + 1))
-                                    - 2.0
-                                        * u5(4, i, j, k)
-                                        * rho_i.get::<SAFE>(s_id(i, j, k))
-                                    + u5(4, i, j, k - 1)
-                                        * rho_i.get::<SAFE>(s_id(i, j, k - 1)))
+                                    - 2.0 * u5(4, i, j, k) * rho_i.get::<SAFE>(s_id(i, j, k))
+                                    + u5(4, i, j, k - 1) * rho_i.get::<SAFE>(s_id(i, j, k - 1)))
                             - c.tz2
                                 * ((c.c1 * u5(4, i, j, k + 1)
                                     - c.c2 * square.get::<SAFE>(s_id(i, j, k + 1)))

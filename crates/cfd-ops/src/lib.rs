@@ -138,9 +138,7 @@ fn make_flat(cfg: &OpConfig) -> Vec<f64> {
 fn make_nested(cfg: &OpConfig) -> Vec<Vec<Vec<f64>>> {
     (0..cfg.n3)
         .map(|k| {
-            (0..cfg.n2)
-                .map(|j| (0..cfg.n1).map(|i| source_value(i, j, k)).collect())
-                .collect()
+            (0..cfg.n2).map(|j| (0..cfg.n1).map(|i| source_value(i, j, k)).collect()).collect()
         })
         .collect()
 }
@@ -149,11 +147,7 @@ const S1C: [f64; 2] = [0.5, 1.0 / 12.0];
 const S2C: [f64; 3] = [0.25, 1.0 / 8.0, -1.0 / 16.0];
 
 /// Run one operation in the linearized layout.
-pub fn run_linearized<const SAFE: bool>(
-    op: Op,
-    cfg: &OpConfig,
-    team: Option<&Team>,
-) -> OpResult {
+pub fn run_linearized<const SAFE: bool>(op: Op, cfg: &OpConfig, team: Option<&Team>) -> OpResult {
     let (n1, n2, n3) = (cfg.n1, cfg.n2, cfg.n3);
     let x = make_flat(cfg);
     let mut y = vec![0.0f64; cfg.len()];
@@ -410,10 +404,9 @@ pub fn run_multidim(op: Op, cfg: &OpConfig) -> OpResult {
 
     let checksum = match op {
         Op::ReductionSum => reduction,
-        Op::MatVec => outv
-            .iter()
-            .flat_map(|p| p.iter().flat_map(|r| r.iter().flat_map(|a| a.iter())))
-            .sum(),
+        Op::MatVec => {
+            outv.iter().flat_map(|p| p.iter().flat_map(|r| r.iter().flat_map(|a| a.iter()))).sum()
+        }
         _ => y.iter().flat_map(|p| p.iter().flat_map(|r| r.iter())).sum(),
     };
     OpResult { secs, checksum }
@@ -476,8 +469,7 @@ mod tests {
         for k in 1..7 {
             for j in 1..7 {
                 for i in 1..7 {
-                    let v = S1C[0] * x[cfg.id(i, j, k)]
-                        + S1C[1] * 6.0 * 2.0;
+                    let v = S1C[0] * x[cfg.id(i, j, k)] + S1C[1] * 6.0 * 2.0;
                     y[cfg.id(i, j, k)] = v;
                 }
             }

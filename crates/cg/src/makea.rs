@@ -228,11 +228,8 @@ mod tests {
         let m = small_matrix();
         for j in 0..m.n {
             let row = m.rowstr[j]..m.rowstr[j + 1];
-            let diag = row
-                .clone()
-                .find(|&k| m.colidx[k] == j)
-                .map(|k| m.a[k])
-                .expect("missing diagonal");
+            let diag =
+                row.clone().find(|&k| m.colidx[k] == j).map(|k| m.a[k]).expect("missing diagonal");
             // 0.1 - 10 = -9.9 plus outer-product contributions: the 0.25 *
             // size vecset square plus ~nonzer random v^2 * size terms, each
             // in (0, 1). The shifted diagonal stays clearly negative.
@@ -297,8 +294,7 @@ mod proptests {
             assert!(m.colidx.iter().all(|&c| c < n));
             // Every row has a diagonal entry (rcond - shift ensures it).
             for j in 0..n {
-                let has_diag =
-                    (m.rowstr[j]..m.rowstr[j + 1]).any(|k| m.colidx[k] == j);
+                let has_diag = (m.rowstr[j]..m.rowstr[j + 1]).any(|k| m.colidx[k] == j);
                 assert!(has_diag, "n {n}, nonzer {nonzer}: row {j} lacks a diagonal");
             }
             // Symmetric sparsity pattern.

@@ -26,10 +26,52 @@ pub const A_DEFAULT: f64 = 1_220_703_125.0;
 /// Default seed used by most benchmarks.
 pub const SEED_DEFAULT: f64 = 314_159_265.0;
 
-const R23: f64 = 0.5f64 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
-    * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5;
-const T23: f64 = 2.0f64 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0
-    * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0;
+const R23: f64 = 0.5f64
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5;
+const T23: f64 = 2.0f64
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0;
 const R46: f64 = R23 * R23;
 const T46: f64 = T23 * T23;
 

@@ -2,6 +2,29 @@
 
 use crate::{Class, Style, Verified};
 
+/// Escape `s` for inclusion inside a JSON string literal.
+///
+/// This is the single JSON-string escaper of the workspace (the build is
+/// hermetic, so there is no serde): `BenchReport::to_json` and the
+/// suite supervisor's run manifest both write through it, and the
+/// harness's hand-rolled reader inverts exactly this escaping. Control
+/// characters use `\u00XX`, everything else passes through as UTF-8.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Everything a benchmark run reports — the same fields the NPB
 /// `print_results` routine prints.
 #[derive(Debug, Clone)]
@@ -65,6 +88,39 @@ impl BenchReport {
         )
     }
 
+    /// One-line machine-readable JSON record (the structured channel the
+    /// suite supervisor parses instead of scraping banners).
+    ///
+    /// `attempts` is how many driver attempts this report took (1 = the
+    /// first try verified); it is driver state, not kernel state, so it
+    /// is a parameter rather than a field. Float fields use Rust's
+    /// shortest-roundtrip formatting, so the value survives the trip
+    /// through the supervisor bit-exactly.
+    pub fn to_json(&self, attempts: usize) -> String {
+        let verified = match self.verified {
+            Verified::Success => "success",
+            Verified::Failure => "failure",
+            Verified::NotPerformed => "not-performed",
+        };
+        format!(
+            "{{\"name\":\"{}\",\"class\":\"{}\",\"style\":\"{}\",\"threads\":{},\
+             \"size\":[{},{},{}],\"niter\":{},\"time_secs\":{},\"mops\":{},\
+             \"verified\":\"{}\",\"attempts\":{}}}",
+            json_escape(self.name),
+            json_escape(&self.class.to_string()),
+            json_escape(self.style.label()),
+            self.threads,
+            self.size.0,
+            self.size.1,
+            self.size.2,
+            self.niter,
+            self.time_secs,
+            self.mops,
+            verified,
+            attempts
+        )
+    }
+
     /// One-line CSV-ish record for harness output.
     pub fn row(&self) -> String {
         format!(
@@ -116,5 +172,37 @@ mod tests {
     #[test]
     fn row_is_stable() {
         assert_eq!(sample().row(), "CG,S,opt,4,0.1230,456.70,ok");
+    }
+
+    #[test]
+    fn json_record_is_stable() {
+        assert_eq!(
+            sample().to_json(2),
+            "{\"name\":\"CG\",\"class\":\"S\",\"style\":\"opt\",\"threads\":4,\
+             \"size\":[1400,0,0],\"niter\":15,\"time_secs\":0.123,\"mops\":456.7,\
+             \"verified\":\"success\",\"attempts\":2}"
+        );
+    }
+
+    #[test]
+    fn json_verified_states_are_distinct() {
+        let mut r = sample();
+        r.verified = Verified::Failure;
+        assert!(r.to_json(1).contains("\"verified\":\"failure\""));
+        r.verified = Verified::NotPerformed;
+        assert!(r.to_json(1).contains("\"verified\":\"not-performed\""));
+    }
+
+    #[test]
+    fn json_escape_handles_every_class() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("nl\n cr\r tab\t"), "nl\\n cr\\r tab\\t");
+        assert_eq!(json_escape("bell\u{7}"), "bell\\u0007");
+        assert_eq!(json_escape("é ✓"), "é ✓");
+        // Escaping is idempotent-safe under composition: escaping the
+        // escaped form escapes the introduced backslashes, not more.
+        assert_eq!(json_escape("\\n"), "\\\\n");
     }
 }

@@ -69,11 +69,8 @@ impl Verified {
 #[inline]
 pub fn rel_err_ok(computed: f64, reference: f64, epsilon: f64) -> bool {
     let computed = if take_nan_corruption() { f64::NAN } else { computed };
-    let err = if reference != 0.0 {
-        ((computed - reference) / reference).abs()
-    } else {
-        computed.abs()
-    };
+    let err =
+        if reference != 0.0 { ((computed - reference) / reference).abs() } else { computed.abs() };
     err <= epsilon && err.is_finite() && computed.is_finite()
 }
 

@@ -100,8 +100,7 @@ fn run_impl<const SAFE: bool>(params: &EpParams, team: Option<&Team>) -> EpResul
     let pq: Vec<Partials> = (0..NQ).map(|_| Partials::new(nthreads)).collect();
 
     run_par(team, |p| {
-        let mut local =
-            EpResult { sx: 0.0, sy: 0.0, q: [0.0; NQ], gc: 0.0 };
+        let mut local = EpResult { sx: 0.0, sy: 0.0, q: [0.0; NQ], gc: 0.0 };
         let mut x = vec![0.0f64; 2 * nk];
         for k in p.range(nn) {
             batch::<SAFE>(k, an, &mut x, &mut local);
@@ -127,8 +126,7 @@ pub fn verify(class: Class, res: &EpResult) -> Verified {
         None => Verified::NotPerformed,
         Some(r) => {
             let eps = 1.0e-8;
-            if npb_core::rel_err_ok(res.sx, r.sx, eps) && npb_core::rel_err_ok(res.sy, r.sy, eps)
-            {
+            if npb_core::rel_err_ok(res.sx, r.sx, eps) && npb_core::rel_err_ok(res.sy, r.sy, eps) {
                 Verified::Success
             } else {
                 Verified::Failure

@@ -47,15 +47,7 @@ impl FftTable {
 /// One Stockham stage (`fftz2`): stage `l` of `m`, reading `x` and
 /// writing `y`. `is >= 1` selects the forward transform, otherwise the
 /// inverse (conjugated twiddles).
-fn fftz2<const SAFE: bool>(
-    is: i32,
-    l: u32,
-    m: u32,
-    n: usize,
-    u: &[C64],
-    x: &[C64],
-    y: &mut [C64],
-) {
+fn fftz2<const SAFE: bool>(is: i32, l: u32, m: u32, n: usize, u: &[C64], x: &[C64], y: &mut [C64]) {
     let n1 = n / 2;
     let lk = 1usize << (l - 1);
     let li = 1usize << (m - l);
@@ -248,8 +240,7 @@ mod proptests {
             let n = x0.len();
             let table = FftTable::new(n.max(2));
             let y0: Vec<C64> = (0..n).map(|i| c64((i as f64).cos(), 0.3)).collect();
-            let mut combo: Vec<C64> =
-                x0.iter().zip(&y0).map(|(&x, &y)| x.scale(a) + y).collect();
+            let mut combo: Vec<C64> = x0.iter().zip(&y0).map(|(&x, &y)| x.scale(a) + y).collect();
             let mut scratch = vec![C64::ZERO; n];
             cfftz::<true>(1, n, &table, &mut combo, &mut scratch);
             let mut fx = x0.clone();

@@ -20,8 +20,9 @@ pub use complex::{c64, C64};
 pub use fft::{cfftz, FftTable};
 pub use params::{reference_checksums, FtParams};
 
-use npb_core::{ipow46, randlc, vranlc, BenchReport, Class, Style, Verified, A_DEFAULT,
-    SEED_DEFAULT};
+use npb_core::{
+    ipow46, randlc, vranlc, BenchReport, Class, Style, Verified, A_DEFAULT, SEED_DEFAULT,
+};
 use npb_runtime::{run_par, SharedMut, Team};
 
 const ALPHA: f64 = 1.0e-6;
@@ -83,10 +84,7 @@ impl FtState {
                     let kj2 = jj * jj + kk2;
                     for i in 0..nx {
                         let ii = ((i + nx / 2) % nx) as i64 - (nx / 2) as i64;
-                        tw.set::<false>(
-                            i + nx * (j + ny * k),
-                            (ap * (ii * ii + kj2) as f64).exp(),
-                        );
+                        tw.set::<false>(i + nx * (j + ny * k), (ap * (ii * ii + kj2) as f64).exp());
                     }
                 }
             }
@@ -366,12 +364,7 @@ mod tests {
     #[test]
     fn class_s_checksums_match_published_references() {
         let out = run_raw(Class::S, Style::Opt, None);
-        assert_eq!(
-            verify(Class::S, &out.sums),
-            Verified::Success,
-            "sums = {:?}",
-            out.sums
-        );
+        assert_eq!(verify(Class::S, &out.sums), Verified::Success, "sums = {:?}", out.sums);
     }
 
     #[test]

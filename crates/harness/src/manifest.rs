@@ -1,0 +1,376 @@
+//! The crash-safe run manifest: an append-only JSONL journal.
+//!
+//! Every record is one JSON object on one line, written with a single
+//! `write` + `flush` — there is no framing to corrupt and no state to
+//! rewrite, so a supervisor killed at any instant (the acceptance
+//! criterion SIGKILLs it mid-sweep) loses at most the line being
+//! written. On `--resume` the reader tolerates exactly that: a torn
+//! final line is counted and skipped, never misread.
+//!
+//! Three record kinds share the file, tagged by `"event"`:
+//!
+//! * `run` — one per supervisor invocation (sweep shape, seed, flags),
+//!   so a manifest is self-describing;
+//! * `attempt` — one per child process, including the kills: the
+//!   journal is the audit trail that quarantined or killed cells are
+//!   *reported, never silently dropped*;
+//! * `cell` — the terminal outcome of a cell. Resume skips exactly the
+//!   cells with a terminal record.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use npb_core::report::json_escape;
+use npb_core::{Class, Style};
+
+use crate::json::Json;
+use crate::outcome::AttemptOutcome;
+
+/// One point of the sweep: a (benchmark, class, style, threads) cell,
+/// run in its own child process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cell {
+    pub bench: String,
+    pub class: Class,
+    pub style: Style,
+    /// Threads *requested* (the degradation ladder may finish lower).
+    pub threads: usize,
+}
+
+impl Cell {
+    /// Stable identity used for resume matching.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}/{}", self.bench, self.class, self.style.label(), self.threads)
+    }
+
+    fn json_fields(&self) -> String {
+        format!(
+            "\"bench\":\"{}\",\"class\":\"{}\",\"style\":\"{}\",\"threads\":{}",
+            json_escape(&self.bench),
+            self.class,
+            self.style.label(),
+            self.threads
+        )
+    }
+
+    fn from_json(v: &Json) -> Option<Cell> {
+        Some(Cell {
+            bench: v.get_str("bench")?.to_string(),
+            class: v.get_str("class")?.parse().ok()?,
+            style: v.get_str("style")?.parse().ok()?,
+            threads: v.get_uint("threads")? as usize,
+        })
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} ", self.bench, self.class, self.style.label())?;
+        if self.threads == 0 {
+            write!(f, "serial")
+        } else {
+            write!(f, "{}t", self.threads)
+        }
+    }
+}
+
+/// Terminal status of a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// A run verified (possibly after retries / ladder descent).
+    Verified,
+    /// Every attempt failed but the failure class never warranted the
+    /// ladder (verification failures, fatal spawn/usage errors); the
+    /// tag is the last attempt's outcome tag.
+    Failed(&'static str),
+    /// Region-class failures exhausted the whole degradation ladder
+    /// down to serial; the cell is parked, reported, and the sweep
+    /// moves on.
+    Quarantined,
+}
+
+impl CellStatus {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CellStatus::Verified => "verified",
+            CellStatus::Failed(tag) => tag,
+            CellStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Terminal outcome of one cell, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    pub cell: Cell,
+    pub status: CellStatus,
+    /// Total child processes spawned for this cell.
+    pub attempts: u64,
+    /// How many of them the supervisor (or a foreign signal) killed.
+    pub kills: u64,
+    /// Thread count of the final attempt (ladder may have descended).
+    pub final_threads: usize,
+    /// Mop/s of the verifying run, if any.
+    pub mops: Option<f64>,
+    /// Timed-section seconds of the verifying run, if any.
+    pub time_secs: Option<f64>,
+}
+
+/// Append-only journal writer.
+pub struct Manifest {
+    file: File,
+    path: PathBuf,
+}
+
+impl Manifest {
+    /// Create (or truncate) a fresh manifest.
+    pub fn create(path: &Path) -> std::io::Result<Manifest> {
+        let file = File::create(path)?;
+        Ok(Manifest { file, path: path.to_path_buf() })
+    }
+
+    /// Open an existing manifest for appending (resume).
+    pub fn append(path: &Path) -> std::io::Result<Manifest> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Manifest { file, path: path.to_path_buf() })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn line(&mut self, record: String) -> std::io::Result<()> {
+        // One write, one flush: the line is in the kernel's hands before
+        // the supervisor advances, so SIGKILLing the supervisor cannot
+        // lose an acknowledged record.
+        self.file.write_all(record.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+
+    /// Journal the start of a supervisor invocation.
+    pub fn run_header(&mut self, cells: usize, seed: u64, resumed: bool) -> std::io::Result<()> {
+        self.line(format!(
+            "{{\"event\":\"run\",\"cells\":{cells},\"seed\":{seed},\"resumed\":{resumed}}}"
+        ))
+    }
+
+    /// Journal one child-process attempt (including kills).
+    pub fn attempt(
+        &mut self,
+        cell: &Cell,
+        attempt: u64,
+        threads: usize,
+        outcome: &AttemptOutcome,
+        elapsed_ms: u64,
+    ) -> std::io::Result<()> {
+        self.line(format!(
+            "{{\"event\":\"attempt\",{},\"attempt\":{attempt},\"run_threads\":{threads},\
+             \"outcome\":\"{}\",\"elapsed_ms\":{elapsed_ms}}}",
+            cell.json_fields(),
+            outcome.tag()
+        ))
+    }
+
+    /// Journal a cell's terminal outcome. This is the record resume
+    /// keys on.
+    pub fn cell(&mut self, out: &CellOutcome) -> std::io::Result<()> {
+        let mut extra = String::new();
+        if let Some(m) = out.mops {
+            extra.push_str(&format!(",\"mops\":{m}"));
+        }
+        if let Some(t) = out.time_secs {
+            extra.push_str(&format!(",\"time_secs\":{t}"));
+        }
+        self.line(format!(
+            "{{\"event\":\"cell\",{},\"outcome\":\"{}\",\"attempts\":{},\"kills\":{},\
+             \"final_threads\":{}{extra}}}",
+            out.cell.json_fields(),
+            out.status.tag(),
+            out.attempts,
+            out.kills,
+            out.final_threads
+        ))
+    }
+}
+
+/// What a resume pass learned from an existing manifest.
+#[derive(Debug, Default)]
+pub struct ResumeState {
+    /// Keys ([`Cell::key`]) of cells with a terminal record.
+    pub completed: BTreeSet<String>,
+    /// Terminal records, in journal order (for the final summary).
+    pub outcomes: Vec<CellOutcome>,
+    /// Lines that did not parse — the torn tail of a killed run (any
+    /// count above 1 suggests the file was damaged by something other
+    /// than a crash mid-append, so the caller warns).
+    pub torn_lines: usize,
+}
+
+/// Read a manifest back for `--resume`.
+pub fn read_manifest(path: &Path) -> std::io::Result<ResumeState> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut state = ResumeState::default();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(_) => {
+                state.torn_lines += 1;
+                continue;
+            }
+        };
+        if v.get_str("event") != Some("cell") {
+            continue;
+        }
+        let (Some(cell), Some(outcome)) = (Cell::from_json(&v), v.get_str("outcome")) else {
+            state.torn_lines += 1;
+            continue;
+        };
+        let status = match outcome {
+            "verified" => CellStatus::Verified,
+            "quarantined" => CellStatus::Quarantined,
+            // Failed tags are attempt tags; keep the static name the
+            // summary table prints.
+            "verification-failed" => CellStatus::Failed("verification-failed"),
+            "region-failed" => CellStatus::Failed("region-failed"),
+            "usage-error" => CellStatus::Failed("usage-error"),
+            "spawn-failed" => CellStatus::Failed("spawn-failed"),
+            _ => CellStatus::Failed("unknown"),
+        };
+        state.completed.insert(cell.key());
+        state.outcomes.push(CellOutcome {
+            cell,
+            status,
+            attempts: v.get_uint("attempts").unwrap_or(0),
+            kills: v.get_uint("kills").unwrap_or(0),
+            final_threads: v.get_uint("final_threads").unwrap_or(0) as usize,
+            mops: v.get_num("mops"),
+            time_secs: v.get_num("time_secs"),
+        });
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "npb-manifest-test-{}-{}-{}.jsonl",
+            std::process::id(),
+            name,
+            n
+        ))
+    }
+
+    fn cell(bench: &str, threads: usize) -> Cell {
+        Cell { bench: bench.into(), class: Class::S, style: Style::Opt, threads }
+    }
+
+    fn outcome(bench: &str, status: CellStatus) -> CellOutcome {
+        CellOutcome {
+            cell: cell(bench, 4),
+            status,
+            attempts: 2,
+            kills: 1,
+            final_threads: 4,
+            mops: Some(123.5),
+            time_secs: Some(0.25),
+        }
+    }
+
+    #[test]
+    fn roundtrips_terminal_records() {
+        let path = tmp("roundtrip");
+        let mut m = Manifest::create(&path).unwrap();
+        m.run_header(2, 7, false).unwrap();
+        m.attempt(
+            &cell("EP", 4),
+            0,
+            4,
+            &AttemptOutcome::DeadlineKilled { after: std::time::Duration::from_millis(50) },
+            50,
+        )
+        .unwrap();
+        m.cell(&outcome("EP", CellStatus::Verified)).unwrap();
+        m.cell(&outcome("CG", CellStatus::Quarantined)).unwrap();
+
+        let state = read_manifest(&path).unwrap();
+        assert_eq!(state.torn_lines, 0);
+        assert_eq!(state.completed.len(), 2);
+        assert!(state.completed.contains(&cell("EP", 4).key()));
+        assert_eq!(state.outcomes[0], outcome("EP", CellStatus::Verified));
+        assert_eq!(state.outcomes[1].status, CellStatus::Quarantined);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_misread() {
+        let path = tmp("torn");
+        let mut m = Manifest::create(&path).unwrap();
+        m.cell(&outcome("EP", CellStatus::Verified)).unwrap();
+        m.cell(&outcome("CG", CellStatus::Verified)).unwrap();
+        drop(m);
+        // Simulate a SIGKILL mid-append: truncate into the second record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.find("\n").unwrap() + 1 + 20;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let state = read_manifest(&path).unwrap();
+        assert_eq!(state.torn_lines, 1);
+        assert_eq!(state.completed.len(), 1, "only the intact record counts");
+        assert!(state.completed.contains(&cell("EP", 4).key()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_append_preserves_existing_records() {
+        let path = tmp("append");
+        let mut m = Manifest::create(&path).unwrap();
+        m.cell(&outcome("EP", CellStatus::Verified)).unwrap();
+        drop(m);
+        let mut m = Manifest::append(&path).unwrap();
+        m.run_header(1, 7, true).unwrap();
+        m.cell(&outcome("CG", CellStatus::Verified)).unwrap();
+        drop(m);
+        let state = read_manifest(&path).unwrap();
+        assert_eq!(state.completed.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cell_keys_distinguish_every_axis() {
+        let base = cell("EP", 4);
+        let mut other = base.clone();
+        other.threads = 2;
+        assert_ne!(base.key(), other.key());
+        let mut other = base.clone();
+        other.style = Style::Safe;
+        assert_ne!(base.key(), other.key());
+        let mut other = base.clone();
+        other.class = Class::W;
+        assert_ne!(base.key(), other.key());
+    }
+
+    #[test]
+    fn failed_status_tags_roundtrip() {
+        let path = tmp("tags");
+        let mut m = Manifest::create(&path).unwrap();
+        m.cell(&outcome("EP", CellStatus::Failed("verification-failed"))).unwrap();
+        drop(m);
+        let state = read_manifest(&path).unwrap();
+        assert_eq!(state.outcomes[0].status, CellStatus::Failed("verification-failed"));
+        std::fs::remove_file(&path).ok();
+    }
+}

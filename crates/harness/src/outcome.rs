@@ -1,0 +1,265 @@
+//! The supervisor's failure taxonomy.
+//!
+//! The in-process runtime already classifies *why* a child died into its
+//! exit code (0 verified, 1 verification/region failure, 2 usage, 3
+//! watchdog — see DESIGN.md §6). The supervisor adds the outcomes only
+//! an outside observer can produce: killed-on-deadline, killed-by-signal
+//! and failed-to-spawn. Together the two layers form the unified
+//! taxonomy in README's failure-model table.
+
+use std::process::ExitStatus;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// What one child process attempt produced, as observed from outside.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// Exit 0 and the `--json` record says `verified: success`.
+    Verified(ChildReport),
+    /// Exit 1 with a parsed `--json` record: the benchmark *ran* but its
+    /// verification comparison failed (numerics, not infrastructure).
+    VerificationFailed(ChildReport),
+    /// Exit 1 without a result record: a parallel region failed before
+    /// the benchmark could report (worker panic beyond the child's own
+    /// retry budget).
+    RegionFailed,
+    /// Exit 2: the child rejected its own command line. Never retried —
+    /// the supervisor built that command line, so a retry would fail
+    /// identically.
+    UsageError,
+    /// Exit 3 ([`npb_runtime::WATCHDOG_EXIT_CODE`]): the child's
+    /// in-process watchdog turned a hung region into process death.
+    WatchdogExit,
+    /// The supervisor's wall-clock deadline expired and the child was
+    /// killed and reaped — the fault class the in-process watchdog
+    /// cannot survive (it can only die with the process).
+    DeadlineKilled {
+        /// How long the child had been running when it was killed.
+        after: Duration,
+    },
+    /// The child died to a signal the supervisor did not send (SIGSEGV,
+    /// SIGABRT from a Rust abort, OOM-kill, ...).
+    Signaled(i32),
+    /// The child exited with a code outside the driver's documented set.
+    UnknownExit(i32),
+    /// The child process could not be spawned at all.
+    SpawnFailed(String),
+}
+
+impl AttemptOutcome {
+    /// Short machine-readable tag, used in the run manifest.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AttemptOutcome::Verified(_) => "verified",
+            AttemptOutcome::VerificationFailed(_) => "verification-failed",
+            AttemptOutcome::RegionFailed => "region-failed",
+            AttemptOutcome::UsageError => "usage-error",
+            AttemptOutcome::WatchdogExit => "watchdog-exit",
+            AttemptOutcome::DeadlineKilled { .. } => "deadline-killed",
+            AttemptOutcome::Signaled(_) => "signaled",
+            AttemptOutcome::UnknownExit(_) => "unknown-exit",
+            AttemptOutcome::SpawnFailed(_) => "spawn-failed",
+        }
+    }
+
+    /// Was this attempt a kill (deadline or foreign signal)?
+    pub fn is_kill(&self) -> bool {
+        matches!(self, AttemptOutcome::DeadlineKilled { .. } | AttemptOutcome::Signaled(_))
+    }
+
+    /// How the supervisor should react to this attempt.
+    pub fn disposition(&self) -> Disposition {
+        match self {
+            AttemptOutcome::Verified(_) => Disposition::Done,
+            // Numerics failed but the infrastructure worked: retrying at
+            // the same width is meaningful (an injected NaN is one-shot),
+            // but walking the thread ladder is not — degradation exists
+            // for *region* failures.
+            AttemptOutcome::VerificationFailed(_) => Disposition::RetrySameWidth,
+            AttemptOutcome::RegionFailed
+            | AttemptOutcome::WatchdogExit
+            | AttemptOutcome::DeadlineKilled { .. }
+            | AttemptOutcome::Signaled(_)
+            | AttemptOutcome::UnknownExit(_) => Disposition::RetryOrDegrade,
+            AttemptOutcome::UsageError | AttemptOutcome::SpawnFailed(_) => Disposition::Fatal,
+        }
+    }
+}
+
+/// Supervisor reaction classes for an attempt outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The cell is complete.
+    Done,
+    /// Retry within the current rung's budget; do not descend the ladder.
+    RetrySameWidth,
+    /// Retry within the current rung's budget, then descend the
+    /// degradation ladder (threads N → N/2 → … → serial).
+    RetryOrDegrade,
+    /// Stop immediately; no retry can change the outcome.
+    Fatal,
+}
+
+/// The parsed `npb --json` result record a child printed on stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChildReport {
+    pub name: String,
+    pub class: String,
+    pub style: String,
+    pub threads: usize,
+    pub verified: String,
+    pub mops: f64,
+    pub time_secs: f64,
+    /// The child's *own* attempt count (its in-process `--retries` loop).
+    pub attempts: u64,
+}
+
+impl ChildReport {
+    /// Parse the JSON record emitted by `BenchReport::to_json`.
+    pub fn from_json(v: &Json) -> Option<ChildReport> {
+        Some(ChildReport {
+            name: v.get_str("name")?.to_string(),
+            class: v.get_str("class")?.to_string(),
+            style: v.get_str("style")?.to_string(),
+            threads: v.get_uint("threads")? as usize,
+            verified: v.get_str("verified")?.to_string(),
+            mops: v.get_num("mops")?,
+            time_secs: v.get_num("time_secs")?,
+            attempts: v.get_uint("attempts")?,
+        })
+    }
+
+    /// Find and parse the last result record in a child's stdout (the
+    /// banner lines are ignored; the record is the only line starting
+    /// with `{`).
+    pub fn last_in(stdout: &str) -> Option<ChildReport> {
+        stdout
+            .lines()
+            .rev()
+            .map(str::trim)
+            .filter(|l| l.starts_with('{'))
+            .find_map(|l| Json::parse(l).ok().as_ref().and_then(ChildReport::from_json))
+    }
+}
+
+/// Classify a reaped child exit status (not deadline-killed, which the
+/// supervisor classifies itself before reaping).
+pub fn classify_exit(status: ExitStatus, report: Option<ChildReport>) -> AttemptOutcome {
+    match status.code() {
+        Some(0) => match report {
+            Some(r) if r.verified == "success" => AttemptOutcome::Verified(r),
+            // Exit 0 without a parseable record (e.g. the child was run
+            // without --json) is still a verified run per the driver's
+            // exit-code contract, but the supervisor insists on the
+            // structured channel: treat it as an unknown exit so it is
+            // surfaced rather than silently trusted.
+            _ => AttemptOutcome::UnknownExit(0),
+        },
+        Some(1) => match report {
+            Some(r) => AttemptOutcome::VerificationFailed(r),
+            None => AttemptOutcome::RegionFailed,
+        },
+        Some(2) => AttemptOutcome::UsageError,
+        Some(c) if c == npb_runtime::WATCHDOG_EXIT_CODE => AttemptOutcome::WatchdogExit,
+        Some(c) => AttemptOutcome::UnknownExit(c),
+        None => {
+            #[cfg(unix)]
+            {
+                use std::os::unix::process::ExitStatusExt;
+                AttemptOutcome::Signaled(status.signal().unwrap_or(0))
+            }
+            #[cfg(not(unix))]
+            AttemptOutcome::Signaled(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(unix)]
+    fn status(raw: i32) -> ExitStatus {
+        use std::os::unix::process::ExitStatusExt;
+        ExitStatus::from_raw(raw)
+    }
+
+    fn report(verified: &str) -> ChildReport {
+        ChildReport {
+            name: "EP".into(),
+            class: "S".into(),
+            style: "opt".into(),
+            threads: 4,
+            verified: verified.into(),
+            mops: 1.0,
+            time_secs: 0.1,
+            attempts: 1,
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn exit_codes_map_to_the_documented_taxonomy() {
+        // Wait status encodes the exit code in the high byte.
+        let r = report("success");
+        assert_eq!(classify_exit(status(0 << 8), Some(r.clone())), AttemptOutcome::Verified(r));
+        assert_eq!(
+            classify_exit(status(1 << 8), Some(report("failure"))),
+            AttemptOutcome::VerificationFailed(report("failure"))
+        );
+        assert_eq!(classify_exit(status(1 << 8), None), AttemptOutcome::RegionFailed);
+        assert_eq!(classify_exit(status(2 << 8), None), AttemptOutcome::UsageError);
+        assert_eq!(classify_exit(status(3 << 8), None), AttemptOutcome::WatchdogExit);
+        assert_eq!(classify_exit(status(77 << 8), None), AttemptOutcome::UnknownExit(77));
+        // Low byte = terminating signal (9 = SIGKILL).
+        assert_eq!(classify_exit(status(9), None), AttemptOutcome::Signaled(9));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn exit_zero_without_a_record_is_not_trusted() {
+        assert_eq!(classify_exit(status(0), None), AttemptOutcome::UnknownExit(0));
+        assert_eq!(
+            classify_exit(status(0), Some(report("failure"))),
+            AttemptOutcome::UnknownExit(0)
+        );
+    }
+
+    #[test]
+    fn dispositions_route_retry_and_degrade() {
+        assert_eq!(AttemptOutcome::Verified(report("success")).disposition(), Disposition::Done);
+        assert_eq!(
+            AttemptOutcome::VerificationFailed(report("failure")).disposition(),
+            Disposition::RetrySameWidth
+        );
+        for o in [
+            AttemptOutcome::RegionFailed,
+            AttemptOutcome::WatchdogExit,
+            AttemptOutcome::DeadlineKilled { after: Duration::from_millis(5) },
+            AttemptOutcome::Signaled(9),
+            AttemptOutcome::UnknownExit(42),
+        ] {
+            assert_eq!(o.disposition(), Disposition::RetryOrDegrade, "{o:?}");
+        }
+        assert_eq!(AttemptOutcome::UsageError.disposition(), Disposition::Fatal);
+        assert_eq!(AttemptOutcome::SpawnFailed("no".into()).disposition(), Disposition::Fatal);
+    }
+
+    #[test]
+    fn child_report_parses_the_driver_record() {
+        let line = r#"{"name":"CG","class":"S","style":"opt","threads":4,"size":[1400,0,0],"niter":15,"time_secs":0.123,"mops":456.7,"verified":"success","attempts":2}"#;
+        let stdout = format!("\n\n CG Benchmark Completed.\n...\n{line}\n");
+        let r = ChildReport::last_in(&stdout).expect("record found");
+        assert_eq!(r.name, "CG");
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.verified, "success");
+    }
+
+    #[test]
+    fn missing_or_torn_record_is_none() {
+        assert_eq!(ChildReport::last_in("banner only\n"), None);
+        assert_eq!(ChildReport::last_in("{\"name\":\"CG\",\"cla"), None);
+    }
+}

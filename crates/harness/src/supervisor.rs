@@ -1,0 +1,510 @@
+//! The process-isolated suite supervisor.
+//!
+//! PR 1's in-process fault model deliberately converts a hung region
+//! into process death (`WATCHDOG_EXIT_CODE`), which is sound but means
+//! one stuck rank kills an entire `npb all` sweep. The supervisor is
+//! the second, out-of-process fault-tolerance layer: every (benchmark,
+//! class, style, threads) cell runs as its own child `npb` process, so
+//! panics, watchdog exits, aborts and signals are contained to one
+//! cell, and the supervisor can do the one thing the in-process
+//! watchdog cannot — kill a hung child and keep going.
+//!
+//! Per cell the supervisor owns:
+//!
+//! * a wall-clock **deadline** with kill-then-reap escalation;
+//! * **retries** with deterministic exponential [`Backoff`] (randlc
+//!   jitter — a sweep replays exactly from its seed);
+//! * the **failure taxonomy** ([`AttemptOutcome`]) mapping child exits,
+//!   kills and signals to dispositions;
+//! * the **degradation ladder**: repeated region-class failures retry
+//!   at threads N → N/2 → … → serial before the cell is quarantined —
+//!   and quarantined cells are reported, never silently dropped;
+//! * the **run manifest**: every attempt and terminal outcome is
+//!   journaled, so `--resume` continues a killed sweep.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::backoff::Backoff;
+use crate::manifest::{Cell, CellOutcome, CellStatus, Manifest, ResumeState};
+use crate::outcome::{classify_exit, AttemptOutcome, ChildReport, Disposition};
+
+/// How often the deadline loop polls a running child.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Supervisor configuration for one sweep.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// The `npb` driver binary each cell re-invokes.
+    pub npb_bin: PathBuf,
+    /// Wall-clock budget per child process; `None` = unbounded.
+    pub deadline: Option<Duration>,
+    /// Retries *per ladder rung* (so `--retries 1` means up to two
+    /// attempts at the requested width before degrading).
+    pub retries: usize,
+    /// Fault spec passed to the very first attempt of each cell
+    /// (validated upstream; injected faults are one-shot so retries and
+    /// degraded rungs always run clean).
+    pub inject: Option<String>,
+    /// Optional in-process watchdog (`npb --timeout`) forwarded to
+    /// children, exercising the exit-3 leg of the taxonomy.
+    pub child_timeout_ms: Option<u64>,
+    /// Base of the exponential backoff (0 disables sleeping).
+    pub backoff_base_ms: u64,
+    /// Sweep seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+/// The degradation ladder for a requested width: N → N/2 → … → 1 →
+/// serial (0). A serial request has nowhere to descend.
+pub fn ladder(threads: usize) -> Vec<usize> {
+    let mut rungs = Vec::new();
+    let mut t = threads;
+    while t >= 1 {
+        rungs.push(t);
+        t /= 2;
+    }
+    rungs.push(0);
+    rungs
+}
+
+/// Outcome of a whole sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Terminal outcomes in run order, *including* outcomes replayed
+    /// from the resumed manifest.
+    pub outcomes: Vec<CellOutcome>,
+    /// Cells skipped because the resumed manifest already completed them.
+    pub skipped: usize,
+}
+
+impl SweepResult {
+    /// A sweep succeeds only if every cell verified.
+    pub fn all_verified(&self) -> bool {
+        self.outcomes.iter().all(|o| o.status == CellStatus::Verified)
+    }
+}
+
+/// Run `cells`, journaling to `manifest`, honouring a `resume` state.
+///
+/// Progress goes to stdout (one line per cell), child stderr is relayed
+/// on failures, and the function itself only errors on manifest I/O —
+/// child failures are data, not errors.
+pub fn run_sweep(
+    cfg: &SuiteConfig,
+    cells: &[Cell],
+    mut manifest: Option<&mut Manifest>,
+    resume: &ResumeState,
+) -> std::io::Result<SweepResult> {
+    let mut result = SweepResult { outcomes: resume.outcomes.clone(), skipped: 0 };
+    let total = cells.len();
+    for (i, cell) in cells.iter().enumerate() {
+        let tag = format!("[{}/{}] {cell}", i + 1, total);
+        if resume.completed.contains(&cell.key()) {
+            println!("{tag} ... skipped (already completed in resumed manifest)");
+            result.skipped += 1;
+            continue;
+        }
+        let outcome = run_cell(cfg, cell, i as u64, manifest.as_deref_mut())?;
+        let detail = match (&outcome.status, outcome.mops) {
+            (CellStatus::Verified, Some(m)) => format!(
+                "verified ({} attempt{}, {} kill{}, {:.2} Mop/s at {})",
+                outcome.attempts,
+                if outcome.attempts == 1 { "" } else { "s" },
+                outcome.kills,
+                if outcome.kills == 1 { "" } else { "s" },
+                m,
+                width_label(outcome.final_threads),
+            ),
+            (status, _) => format!(
+                "{} ({} attempts, {} kills, last width {})",
+                status.tag(),
+                outcome.attempts,
+                outcome.kills,
+                width_label(outcome.final_threads),
+            ),
+        };
+        println!("{tag} ... {detail}");
+        result.outcomes.push(outcome);
+    }
+    Ok(result)
+}
+
+fn width_label(threads: usize) -> String {
+    if threads == 0 {
+        "serial".to_string()
+    } else {
+        format!("{threads}t")
+    }
+}
+
+/// Drive one cell to a terminal outcome: retries, ladder, quarantine.
+fn run_cell(
+    cfg: &SuiteConfig,
+    cell: &Cell,
+    cell_index: u64,
+    mut manifest: Option<&mut Manifest>,
+) -> std::io::Result<CellOutcome> {
+    let mut backoff = Backoff::new(cfg.seed, cell_index, cfg.backoff_base_ms);
+    let mut attempts = 0u64;
+    let mut kills = 0u64;
+    for rung in ladder(cell.threads) {
+        if rung > cell.threads {
+            continue; // unreachable by construction, but cheap to guard
+        }
+        let mut rung_retries = 0usize;
+        loop {
+            if attempts > 0 {
+                std::thread::sleep(backoff.delay(attempts as usize));
+            }
+            // Injected faults are one-shot by design; only the very
+            // first attempt of the cell carries the spec, so every
+            // retry and every degraded rung runs clean.
+            let inject = cfg.inject.as_deref().filter(|_| attempts == 0);
+            let started = Instant::now();
+            let (outcome, stderr) = run_child(cfg, cell, rung, inject);
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            attempts += 1;
+            if outcome.is_kill() {
+                kills += 1;
+            }
+            if let Some(m) = manifest.as_deref_mut() {
+                m.attempt(cell, attempts - 1, rung, &outcome, elapsed_ms)?;
+            }
+            let disposition = outcome.disposition();
+            if disposition != Disposition::Done {
+                relay_stderr(cell, &outcome, &stderr);
+            }
+            match disposition {
+                Disposition::Done => {
+                    let report = match outcome {
+                        AttemptOutcome::Verified(r) => r,
+                        _ => unreachable!("Done is only produced by Verified"),
+                    };
+                    return finish(
+                        manifest,
+                        CellOutcome {
+                            cell: cell.clone(),
+                            status: CellStatus::Verified,
+                            attempts,
+                            kills,
+                            final_threads: rung,
+                            mops: Some(report.mops),
+                            time_secs: Some(report.time_secs),
+                        },
+                    );
+                }
+                Disposition::Fatal => {
+                    return finish(
+                        manifest,
+                        CellOutcome {
+                            cell: cell.clone(),
+                            status: CellStatus::Failed(outcome_tag(&outcome)),
+                            attempts,
+                            kills,
+                            final_threads: rung,
+                            mops: None,
+                            time_secs: None,
+                        },
+                    );
+                }
+                Disposition::RetrySameWidth => {
+                    if rung_retries < cfg.retries {
+                        rung_retries += 1;
+                        continue;
+                    }
+                    // Verification failures never walk the ladder:
+                    // fewer threads cannot fix numerics that already
+                    // computed (and an injected NaN already got its
+                    // clean retries).
+                    return finish(
+                        manifest,
+                        CellOutcome {
+                            cell: cell.clone(),
+                            status: CellStatus::Failed(outcome_tag(&outcome)),
+                            attempts,
+                            kills,
+                            final_threads: rung,
+                            mops: None,
+                            time_secs: None,
+                        },
+                    );
+                }
+                Disposition::RetryOrDegrade => {
+                    if rung_retries < cfg.retries {
+                        rung_retries += 1;
+                        continue;
+                    }
+                    break; // budget at this width exhausted — descend
+                }
+            }
+        }
+    }
+    // The whole ladder — down to serial — failed on region-class
+    // outcomes: park the cell. It is reported in the summary and the
+    // manifest, never silently dropped.
+    finish(
+        manifest,
+        CellOutcome {
+            cell: cell.clone(),
+            status: CellStatus::Quarantined,
+            attempts,
+            kills,
+            final_threads: 0,
+            mops: None,
+            time_secs: None,
+        },
+    )
+}
+
+fn finish(manifest: Option<&mut Manifest>, outcome: CellOutcome) -> std::io::Result<CellOutcome> {
+    if let Some(m) = manifest {
+        m.cell(&outcome)?;
+    }
+    Ok(outcome)
+}
+
+/// The static tag for a failed attempt, for `CellStatus::Failed`.
+fn outcome_tag(outcome: &AttemptOutcome) -> &'static str {
+    match outcome {
+        AttemptOutcome::VerificationFailed(_) => "verification-failed",
+        AttemptOutcome::RegionFailed => "region-failed",
+        AttemptOutcome::UsageError => "usage-error",
+        AttemptOutcome::SpawnFailed(_) => "spawn-failed",
+        AttemptOutcome::WatchdogExit => "watchdog-exit",
+        AttemptOutcome::DeadlineKilled { .. } => "deadline-killed",
+        AttemptOutcome::Signaled(_) => "signaled",
+        AttemptOutcome::UnknownExit(_) => "unknown-exit",
+        AttemptOutcome::Verified(_) => "verified",
+    }
+}
+
+fn relay_stderr(cell: &Cell, outcome: &AttemptOutcome, stderr: &str) {
+    let mut lines = stderr.lines().filter(|l| !l.trim().is_empty());
+    let first = lines.next().unwrap_or("");
+    let more = lines.count();
+    match outcome {
+        AttemptOutcome::DeadlineKilled { after } => {
+            eprintln!(
+                "npb-suite: {cell}: child exceeded its deadline ({} ms), killed and reaped",
+                after.as_millis()
+            );
+        }
+        AttemptOutcome::SpawnFailed(e) => {
+            eprintln!("npb-suite: {cell}: failed to spawn child: {e}");
+        }
+        _ if first.is_empty() => {
+            eprintln!("npb-suite: {cell}: child attempt ended {}", outcome.tag());
+        }
+        _ => {
+            eprintln!(
+                "npb-suite: {cell}: child attempt ended {} — {first}{}",
+                outcome.tag(),
+                if more > 0 { format!(" (+{more} more stderr lines)") } else { String::new() }
+            );
+        }
+    }
+}
+
+/// Spawn one child for `cell` at width `rung` and watch it to completion
+/// or deadline. Returns the classified outcome plus the child's stderr.
+fn run_child(
+    cfg: &SuiteConfig,
+    cell: &Cell,
+    rung: usize,
+    inject: Option<&str>,
+) -> (AttemptOutcome, String) {
+    let mut cmd = Command::new(&cfg.npb_bin);
+    cmd.arg(&cell.bench)
+        .arg("--class")
+        .arg(cell.class.to_string())
+        .arg("--style")
+        .arg(cell.style.label())
+        .arg("--threads")
+        .arg(rung.to_string())
+        .arg("--json")
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let Some(spec) = inject {
+        cmd.arg("--inject").arg(spec);
+    }
+    if let Some(ms) = cfg.child_timeout_ms {
+        cmd.arg("--timeout").arg(ms.to_string());
+    }
+
+    let started = Instant::now();
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => return (AttemptOutcome::SpawnFailed(e.to_string()), String::new()),
+    };
+
+    // Deadline loop. The child's combined output (banner + one JSON
+    // line + stderr diagnostics) is far below the pipe buffer, so the
+    // pipes cannot fill while we poll; both are drained after exit.
+    let mut killed_after = None;
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break Ok(status),
+            Ok(None) => {}
+            Err(e) => break Err(e),
+        }
+        if let Some(deadline) = cfg.deadline {
+            if started.elapsed() >= deadline {
+                // Kill-then-reap escalation: SIGKILL cannot be caught,
+                // and the subsequent wait() reaps the zombie so a long
+                // sweep cannot leak process-table entries.
+                killed_after = Some(started.elapsed());
+                child.kill().ok();
+                break child.wait();
+            }
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    };
+
+    if let Some(after) = killed_after {
+        // Do NOT drain the pipes here: a killed child may have left a
+        // grandchild holding the write ends (anything it spawned), and
+        // reading would block until *that* exits — the exact hang class
+        // the deadline exists to bound. Dropping the read ends instead
+        // delivers SIGPIPE to any straggling writer.
+        drop(child.stdout.take());
+        drop(child.stderr.take());
+        return (AttemptOutcome::DeadlineKilled { after }, String::new());
+    }
+
+    let mut stdout = String::new();
+    let mut stderr = String::new();
+    if let Some(mut pipe) = child.stdout.take() {
+        pipe.read_to_string(&mut stdout).ok();
+    }
+    if let Some(mut pipe) = child.stderr.take() {
+        pipe.read_to_string(&mut stderr).ok();
+    }
+
+    let status = match status {
+        Ok(s) => s,
+        Err(e) => return (AttemptOutcome::SpawnFailed(format!("wait failed: {e}")), stderr),
+    };
+    (classify_exit(status, ChildReport::last_in(&stdout)), stderr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npb_core::{Class, Style};
+
+    fn cfg(npb_bin: &str) -> SuiteConfig {
+        SuiteConfig {
+            npb_bin: PathBuf::from(npb_bin),
+            deadline: Some(Duration::from_millis(500)),
+            retries: 0,
+            inject: None,
+            child_timeout_ms: None,
+            backoff_base_ms: 0,
+            seed: 1,
+        }
+    }
+
+    fn cell(threads: usize) -> Cell {
+        Cell { bench: "EP".into(), class: Class::S, style: Style::Opt, threads }
+    }
+
+    #[test]
+    fn ladder_halves_down_to_serial() {
+        assert_eq!(ladder(8), vec![8, 4, 2, 1, 0]);
+        assert_eq!(ladder(6), vec![6, 3, 1, 0]);
+        assert_eq!(ladder(4), vec![4, 2, 1, 0]);
+        assert_eq!(ladder(1), vec![1, 0]);
+        assert_eq!(ladder(0), vec![0]);
+    }
+
+    #[test]
+    fn spawn_failure_is_fatal_and_journaled_once() {
+        let out = run_cell(&cfg("/nonexistent/npb-binary"), &cell(2), 0, None).unwrap();
+        assert_eq!(out.status, CellStatus::Failed("spawn-failed"));
+        assert_eq!(out.attempts, 1, "fatal outcomes must not retry");
+        assert_eq!(out.kills, 0);
+    }
+
+    /// Write an executable stub script that ignores its npb-shaped
+    /// arguments and runs `body`, standing in for a child process.
+    #[cfg(unix)]
+    fn stub(name: &str, body: &str) -> PathBuf {
+        use std::os::unix::fs::PermissionsExt;
+        let path =
+            std::env::temp_dir().join(format!("npb-harness-stub-{}-{name}.sh", std::process::id()));
+        std::fs::write(&path, format!("#!/bin/sh\n{body}\n")).unwrap();
+        std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+        path
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn deadline_kills_and_reaps_a_hung_child() {
+        let bin = stub("hang", "sleep 60");
+        let mut c = cfg(bin.to_str().unwrap());
+        c.deadline = Some(Duration::from_millis(150));
+        let started = Instant::now();
+        let (outcome, _) = run_child(&c, &cell(2), 2, None);
+        assert!(
+            matches!(outcome, AttemptOutcome::DeadlineKilled { .. }),
+            "expected a deadline kill, got {outcome:?}"
+        );
+        assert!(outcome.is_kill());
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "kill-then-reap must not wait out the child"
+        );
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn hung_child_walks_the_ladder_into_quarantine() {
+        let bin = stub("quarantine", "sleep 60");
+        let mut c = cfg(bin.to_str().unwrap());
+        c.deadline = Some(Duration::from_millis(100));
+        let out = run_cell(&c, &cell(2), 0, None).unwrap();
+        assert_eq!(out.status, CellStatus::Quarantined);
+        // Ladder 2 -> 1 -> serial, one attempt each (retries = 0).
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.kills, 3);
+        assert_eq!(out.final_threads, 0, "quarantine happens only after the serial rung");
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn exit_code_taxonomy_reaches_cell_status() {
+        // A child that always exits 1 without a JSON record is a region
+        // failure: region failures walk the ladder and end quarantined.
+        let bin = stub("exit1", "exit 1");
+        let out = run_cell(&cfg(bin.to_str().unwrap()), &cell(2), 0, None).unwrap();
+        assert_eq!(out.status, CellStatus::Quarantined);
+        assert_eq!(out.kills, 0);
+        std::fs::remove_file(&bin).ok();
+
+        // Exit 2 (usage) is fatal immediately — the supervisor built
+        // the command line, so retrying is pointless.
+        let bin = stub("exit2", "exit 2");
+        let out = run_cell(&cfg(bin.to_str().unwrap()), &cell(2), 0, None).unwrap();
+        assert_eq!(out.status, CellStatus::Failed("usage-error"));
+        assert_eq!(out.attempts, 1);
+        std::fs::remove_file(&bin).ok();
+
+        // A verification failure (exit 1 + JSON record) retries at the
+        // same width, then fails without walking the ladder.
+        let record = "{\\\"name\\\":\\\"EP\\\",\\\"class\\\":\\\"S\\\",\\\"style\\\":\\\"opt\\\",\\\"threads\\\":2,\\\"size\\\":[1,0,0],\\\"niter\\\":1,\\\"time_secs\\\":0.1,\\\"mops\\\":1,\\\"verified\\\":\\\"failure\\\",\\\"attempts\\\":1}";
+        let bin = stub("verfail", &format!("echo \"{record}\"; exit 1"));
+        let mut c = cfg(bin.to_str().unwrap());
+        c.retries = 1;
+        let out = run_cell(&c, &cell(2), 0, None).unwrap();
+        assert_eq!(out.status, CellStatus::Failed("verification-failed"));
+        assert_eq!(out.attempts, 2, "one retry at the same width, no ladder");
+        assert_eq!(out.final_threads, 2);
+        std::fs::remove_file(&bin).ok();
+    }
+}

@@ -310,8 +310,7 @@ mod proptests {
         let mut rng = Randlc::new(npb_core::SEED_DEFAULT);
         for case in 0..24 {
             let len = 1 + (rng.next_f64() * 3999.0) as usize;
-            let keys: Vec<i32> =
-                (0..len).map(|_| (rng.next_f64() * mk as f64) as i32).collect();
+            let keys: Vec<i32> = (0..len).map(|_| (rng.next_f64() * mk as f64) as i32).collect();
             let mut counts = vec![0i32; mk];
             for &k in &keys {
                 counts[k as usize] += 1;

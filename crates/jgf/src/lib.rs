@@ -181,8 +181,7 @@ pub fn getrf_blocked<const SAFE: bool>(m: &mut Matrix, nb: usize) -> Vec<usize> 
                     let cj = n * j;
                     let t = ld::<_, SAFE>(&m.a, cj + k);
                     for r in k + 1..n {
-                        let v = ld::<_, SAFE>(&m.a, cj + r)
-                            - t * ld::<_, SAFE>(&m.a, col + r);
+                        let v = ld::<_, SAFE>(&m.a, cj + r) - t * ld::<_, SAFE>(&m.a, col + r);
                         st::<_, SAFE>(&mut m.a, cj + r, v);
                     }
                 }

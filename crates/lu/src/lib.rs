@@ -96,7 +96,10 @@ impl LuState {
                         for i in 1..n - 1 {
                             let base = npb_cfd_common::idx5(n, n, 0, i, j, k);
                             for m in 0..5 {
-                                u.add::<SAFE>(base + m, tmp * npb_core::ld::<_, SAFE>(rsd, base + m));
+                                u.add::<SAFE>(
+                                    base + m,
+                                    tmp * npb_core::ld::<_, SAFE>(rsd, base + m),
+                                );
                             }
                         }
                     }

@@ -31,7 +31,8 @@ impl LuParams {
     /// NPB's cubic op-count model for LU's Mop/s.
     pub fn mops(&self, secs: f64) -> f64 {
         let n = self.n as f64;
-        (1984.77 * n * n * n - 10923.3 * n * n + 27770.9 * n - 144010.0) * self.niter as f64
+        (1984.77 * n * n * n - 10923.3 * n * n + 27770.9 * n - 144010.0)
+            * self.niter as f64
             * 1.0e-6
             / secs.max(1e-12)
     }
@@ -74,9 +75,9 @@ pub fn reference(class: Class) -> Option<LuRefs> {
         }),
         Class::W => Some(LuRefs {
             dt: 1.5e-3,
-        // regenerated: true — class W constants pinned from the serial
-        // opt build (DESIGN.md verification policy); they guard style,
-        // thread-count and regression consistency.
+            // regenerated: true — class W constants pinned from the serial
+            // opt build (DESIGN.md verification policy); they guard style,
+            // thread-count and regression consistency.
             xcr: [
                 1.2365116381921874e+1,
                 1.3172284777985026e+0,

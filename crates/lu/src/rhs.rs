@@ -25,7 +25,12 @@ pub struct LuFields {
 impl LuFields {
     /// Zeroed fields.
     pub fn new(n: usize) -> LuFields {
-        LuFields { n, u: vec![0.0; 5 * n * n * n], rsd: vec![0.0; 5 * n * n * n], frct: vec![0.0; 5 * n * n * n] }
+        LuFields {
+            n,
+            u: vec![0.0; 5 * n * n * n],
+            rsd: vec![0.0; 5 * n * n * n],
+            frct: vec![0.0; 5 * n * n * n],
+        }
     }
 
     /// Flat index of the 5-component grids.
@@ -172,8 +177,7 @@ pub fn apply_fluxes<const SAFE: bool>(
                         oid(0, i, j, k),
                         c.dx[0]
                             * c.tx1
-                            * (vat(0, i - 1, j, k) - 2.0 * vat(0, i, j, k)
-                                + vat(0, i + 1, j, k)),
+                            * (vat(0, i - 1, j, k) - 2.0 * vat(0, i, j, k) + vat(0, i + 1, j, k)),
                     );
                     for m in 1..5 {
                         out.add::<SAFE>(
@@ -280,8 +284,7 @@ pub fn apply_fluxes<const SAFE: bool>(
                         oid(0, i, j, k),
                         c.dy[0]
                             * c.ty1
-                            * (vat(0, i, j - 1, k) - 2.0 * vat(0, i, j, k)
-                                + vat(0, i, j + 1, k)),
+                            * (vat(0, i, j - 1, k) - 2.0 * vat(0, i, j, k) + vat(0, i, j + 1, k)),
                     );
                     for m in 1..5 {
                         out.add::<SAFE>(
@@ -388,8 +391,7 @@ pub fn apply_fluxes<const SAFE: bool>(
                         oid(0, i, j, k),
                         c.dz[0]
                             * c.tz1
-                            * (vat(0, i, j, k - 1) - 2.0 * vat(0, i, j, k)
-                                + vat(0, i, j, k + 1)),
+                            * (vat(0, i, j, k - 1) - 2.0 * vat(0, i, j, k) + vat(0, i, j, k + 1)),
                     );
                     for m in 1..5 {
                         out.add::<SAFE>(

@@ -57,12 +57,21 @@ fn d_block(c: &Consts, dt: f64, u: &[f64; 5]) -> Block {
                 * (u[3] * u[3]))
             * tmp3
             + (tx1 + ty1 + tz1) * c1345 * tmp2 * u[4]);
-    d[4][1] =
-        dt * 2.0 * tmp2 * u[1] * (tx1 * (r43 * c34 - c1345) + ty1 * (c34 - c1345) + tz1 * (c34 - c1345));
-    d[4][2] =
-        dt * 2.0 * tmp2 * u[2] * (tx1 * (c34 - c1345) + ty1 * (r43 * c34 - c1345) + tz1 * (c34 - c1345));
-    d[4][3] =
-        dt * 2.0 * tmp2 * u[3] * (tx1 * (c34 - c1345) + ty1 * (c34 - c1345) + tz1 * (r43 * c34 - c1345));
+    d[4][1] = dt
+        * 2.0
+        * tmp2
+        * u[1]
+        * (tx1 * (r43 * c34 - c1345) + ty1 * (c34 - c1345) + tz1 * (c34 - c1345));
+    d[4][2] = dt
+        * 2.0
+        * tmp2
+        * u[2]
+        * (tx1 * (c34 - c1345) + ty1 * (r43 * c34 - c1345) + tz1 * (c34 - c1345));
+    d[4][3] = dt
+        * 2.0
+        * tmp2
+        * u[3]
+        * (tx1 * (c34 - c1345) + ty1 * (c34 - c1345) + tz1 * (r43 * c34 - c1345));
     d[4][4] = 1.0
         + dt * 2.0 * (tx1 + ty1 + tz1) * c1345 * tmp1
         + dt * 2.0 * (tx1 * c.dx[4] + ty1 * c.dy[4] + tz1 * c.dz[4]);
@@ -123,12 +132,9 @@ fn diag_solve(tmat: &mut Block, tv: &mut [f64; 5]) {
     tv[3] = (tv[3] - tmat[3][4] * tv[4]) / tmat[3][3];
     tv[2] = (tv[2] - tmat[2][3] * tv[3] - tmat[2][4] * tv[4]) / tmat[2][2];
     tv[1] = (tv[1] - tmat[1][2] * tv[2] - tmat[1][3] * tv[3] - tmat[1][4] * tv[4]) / tmat[1][1];
-    tv[0] = (tv[0]
-        - tmat[0][1] * tv[1]
-        - tmat[0][2] * tv[2]
-        - tmat[0][3] * tv[3]
-        - tmat[0][4] * tv[4])
-        / tmat[0][0];
+    tv[0] =
+        (tv[0] - tmat[0][1] * tv[1] - tmat[0][2] * tv[2] - tmat[0][3] * tv[3] - tmat[0][4] * tv[4])
+            / tmat[0][0];
 }
 
 #[inline(always)]
@@ -168,9 +174,12 @@ fn lower_plane<const SAFE: bool>(
             let here = idx5(n, n, 0, i, j, k);
             let ub = u_at::<SAFE>(u, here);
             let mut d = d_block(c, dt, &ub);
-            let az = neighbor_block::<false>(c, dt, 2, &u_at::<SAFE>(u, idx5(n, n, 0, i, j, k - 1)));
-            let by = neighbor_block::<false>(c, dt, 1, &u_at::<SAFE>(u, idx5(n, n, 0, i, j - 1, k)));
-            let cx = neighbor_block::<false>(c, dt, 0, &u_at::<SAFE>(u, idx5(n, n, 0, i - 1, j, k)));
+            let az =
+                neighbor_block::<false>(c, dt, 2, &u_at::<SAFE>(u, idx5(n, n, 0, i, j, k - 1)));
+            let by =
+                neighbor_block::<false>(c, dt, 1, &u_at::<SAFE>(u, idx5(n, n, 0, i, j - 1, k)));
+            let cx =
+                neighbor_block::<false>(c, dt, 0, &u_at::<SAFE>(u, idx5(n, n, 0, i - 1, j, k)));
 
             let rk = rsd_at::<SAFE>(rsd, idx5(n, n, 0, i, j, k - 1));
             let rj = rsd_at::<SAFE>(rsd, idx5(n, n, 0, i, j - 1, k));

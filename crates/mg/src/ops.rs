@@ -261,11 +261,7 @@ pub fn interp<const SAFE: bool>(
 
 /// Norms over the interior: returns `(rnm2, rnmu)` = (scaled L2 norm,
 /// max norm).
-pub fn norm2u3<const SAFE: bool>(
-    r: &SharedMut<f64>,
-    n: usize,
-    team: Option<&Team>,
-) -> (f64, f64) {
+pub fn norm2u3<const SAFE: bool>(r: &SharedMut<f64>, n: usize, team: Option<&Team>) -> (f64, f64) {
     let nthreads = team.map_or(1, Team::size);
     let psum = Partials::new(nthreads);
     let pmax = Partials::new(nthreads);
@@ -421,8 +417,9 @@ mod proptests {
             let a = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
             let field = |s: u64| -> Vec<f64> {
                 (0..n * n * n)
-                    .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(s)) % 1000) as f64
-                        * 1e-3)
+                    .map(|i| {
+                        (((i as u64).wrapping_mul(2654435761).wrapping_add(s)) % 1000) as f64 * 1e-3
+                    })
                     .collect()
             };
             let mut u = field(seed);

@@ -20,11 +20,7 @@ struct BestList {
 
 impl BestList {
     fn new(largest: bool) -> BestList {
-        BestList {
-            val: [if largest { 0.0 } else { 1.0 }; MM],
-            pos: [(0, 0, 0); MM],
-            largest,
-        }
+        BestList { val: [if largest { 0.0 } else { 1.0 }; MM], pos: [(0, 0, 0); MM], largest }
     }
 
     #[inline]

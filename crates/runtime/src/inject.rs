@@ -78,9 +78,7 @@ impl FaultPlan {
             "hang" => FaultKind::Hang,
             "nan" => FaultKind::Nan,
             other => {
-                return Err(format!(
-                    "unknown fault kind {other:?} (expected panic|delay|hang|nan)"
-                ))
+                return Err(format!("unknown fault kind {other:?} (expected panic|delay|hang|nan)"))
             }
         };
         Ok(FaultPlan::new(kind, seed))

@@ -94,8 +94,7 @@ mod tests {
     #[test]
     fn parts_are_balanced() {
         for (len, nparts) in sampled_cases() {
-            let sizes: Vec<usize> =
-                (0..nparts).map(|p| partition(len, nparts, p).len()).collect();
+            let sizes: Vec<usize> = (0..nparts).map(|p| partition(len, nparts, p).len()).collect();
             let min = *sizes.iter().min().unwrap();
             let max = *sizes.iter().max().unwrap();
             assert!(max - min <= 1, "len {len}, nparts {nparts}: {sizes:?}");

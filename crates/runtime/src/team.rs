@@ -45,8 +45,11 @@ impl std::fmt::Display for RegionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RegionError::Panicked { tids } => {
-                write!(f, "{} worker(s) panicked inside a parallel region (ranks {tids:?})",
-                       tids.len())
+                write!(
+                    f,
+                    "{} worker(s) panicked inside a parallel region (ranks {tids:?})",
+                    tids.len()
+                )
             }
             RegionError::Timeout { stuck_ranks } => {
                 write!(f, "region watchdog timeout: ranks {stuck_ranks:?} never arrived")
@@ -165,9 +168,7 @@ impl Inner {
         if self.fault.load(Ordering::Relaxed) != want {
             return false;
         }
-        self.fault
-            .compare_exchange(want, 0, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+        self.fault.compare_exchange(want, 0, Ordering::Acquire, Ordering::Relaxed).is_ok()
     }
 }
 
@@ -264,9 +265,7 @@ impl<'t> Par<'t> {
     pub fn barrier(&self) {
         let Some(inner) = self.team else { return };
         if inner.take_fault(FAULT_DELAY, self.tid) {
-            std::thread::sleep(Duration::from_millis(
-                inner.fault_delay_ms.load(Ordering::Relaxed),
-            ));
+            std::thread::sleep(Duration::from_millis(inner.fault_delay_ms.load(Ordering::Relaxed)));
         }
         let mut st = lock(&inner.barrier);
         if st.poisoned {
@@ -333,17 +332,40 @@ fn spawn_worker(inner: &Arc<Inner>, tid: usize, epoch: u64) -> JoinHandle<()> {
         .expect("failed to spawn worker thread")
 }
 
+/// Parse the `NPB_REGION_TIMEOUT_MS` environment value: a non-negative
+/// integer count of milliseconds (0 = watchdog disabled).
+///
+/// A malformed value (`"5s"`, `"-1"`, ...) used to be silently swallowed,
+/// leaving the watchdog disabled with no signal that the requested safety
+/// net was never armed; it is now an explicit error so [`Team::new`] can
+/// warn.
+fn parse_region_timeout_ms(raw: &str) -> Result<u64, String> {
+    raw.trim().parse::<u64>().map_err(|_| {
+        format!(
+            "npb runtime: ignoring NPB_REGION_TIMEOUT_MS={raw:?}: expected a non-negative \
+             integer count of milliseconds (e.g. 5000, not \"5s\"); the region watchdog \
+             stays DISABLED"
+        )
+    })
+}
+
 impl Team {
     /// Spawn a team of `n` persistent workers (`n >= 1`).
     ///
     /// If `NPB_REGION_TIMEOUT_MS` is set to a positive integer, the
     /// (safe, process-terminating) watchdog starts enabled at that value.
+    /// A malformed value leaves the watchdog disabled and warns once on
+    /// stderr naming the bad value (it used to be swallowed silently).
     pub fn new(n: usize) -> Team {
         assert!(n >= 1, "a team needs at least one worker");
-        let timeout_ms = std::env::var("NPB_REGION_TIMEOUT_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0);
+        let timeout_ms = match std::env::var("NPB_REGION_TIMEOUT_MS") {
+            Ok(raw) => parse_region_timeout_ms(&raw).unwrap_or_else(|warning| {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| eprintln!("{warning}"));
+                0
+            }),
+            Err(_) => 0,
+        };
         let state = spawn_team(n);
         let inner_addr = Arc::as_ptr(&state.inner) as usize;
         Team {
@@ -510,16 +532,14 @@ impl Team {
         inner.work_cv.notify_all();
 
         let timeout_ms = self.timeout_ms.load(Ordering::Relaxed);
-        let deadline =
-            (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
+        let deadline = (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
         while job.remaining != 0 {
             match deadline {
                 None => job = inner.done_cv.wait(job).unwrap_or_else(|e| e.into_inner()),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
-                        let stuck: Vec<usize> =
-                            (0..n).filter(|&t| !job.arrived[t]).collect();
+                        let stuck: Vec<usize> = (0..n).filter(|&t| !job.arrived[t]).collect();
                         if self.abandon.load(Ordering::Relaxed) == 0 {
                             // Safe watchdog: we cannot kill a stuck rank
                             // and we must not return while it may still
@@ -559,15 +579,12 @@ impl Team {
                         // Abandon the old team wholesale (dropping the
                         // handles detaches the threads) and start fresh.
                         *st = spawn_team(width);
-                        self.inner_addr
-                            .store(Arc::as_ptr(&st.inner) as usize, Ordering::Relaxed);
+                        self.inner_addr.store(Arc::as_ptr(&st.inner) as usize, Ordering::Relaxed);
                         self.width.store(width, Ordering::Relaxed);
                         return Err(RegionError::Timeout { stuck_ranks: stuck });
                     }
-                    let (g, _) = inner
-                        .done_cv
-                        .wait_timeout(job, d - now)
-                        .unwrap_or_else(|e| e.into_inner());
+                    let (g, _) =
+                        inner.done_cv.wait_timeout(job, d - now).unwrap_or_else(|e| e.into_inner());
                     job = g;
                 }
             }
@@ -963,5 +980,22 @@ mod tests {
                 p.barrier();
             }
         });
+    }
+
+    #[test]
+    fn region_timeout_env_parsing_accepts_integers_only() {
+        assert_eq!(parse_region_timeout_ms("5000"), Ok(5000));
+        assert_eq!(parse_region_timeout_ms(" 250 "), Ok(250), "whitespace is tolerated");
+        assert_eq!(parse_region_timeout_ms("0"), Ok(0), "0 = explicitly disabled");
+
+        // Malformed values must be loud errors naming the bad value —
+        // they used to be silently swallowed, leaving the watchdog
+        // disabled with no signal.
+        for bad in ["5s", "-1", "", "5000ms", "0x10", "1.5"] {
+            let err = parse_region_timeout_ms(bad)
+                .expect_err(&format!("{bad:?} must not parse as a timeout"));
+            assert!(err.contains(&format!("{bad:?}")), "warning must name the value: {err}");
+            assert!(err.contains("DISABLED"), "warning must state the consequence: {err}");
+        }
     }
 }

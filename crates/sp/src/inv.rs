@@ -35,8 +35,7 @@ pub fn txinvr<const SAFE: bool>(f: &mut Fields, c: &Consts, team: Option<&Team>)
                     let r5 = rhs.get::<SAFE>(idx5(nx, ny, 4, i, j, k));
 
                     let t1 = c.c2 / ac2inv
-                        * (npb_core::ld::<_, SAFE>(qs, s) * r1 - uu * r2 - vv * r3 - ww * r4
-                            + r5);
+                        * (npb_core::ld::<_, SAFE>(qs, s) * r1 - uu * r2 - vv * r3 - ww * r4 + r5);
                     let t2 = c.bt * ru1 * (uu * r1 - r2);
                     let t3 = (c.bt * ru1 * ac) * t1;
 

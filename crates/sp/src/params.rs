@@ -29,8 +29,7 @@ impl SpParams {
     /// NPB's cubic op-count model for SP's Mop/s.
     pub fn mops(&self, secs: f64) -> f64 {
         let n = self.n as f64;
-        (881.174 * n * n * n - 4683.91 * n * n + 11484.5 * n - 19272.4) * self.niter as f64
-            * 1.0e-6
+        (881.174 * n * n * n - 4683.91 * n * n + 11484.5 * n - 19272.4) * self.niter as f64 * 1.0e-6
             / secs.max(1e-12)
     }
 }
@@ -60,9 +59,9 @@ pub fn reference(class: Class) -> Option<VerifySet> {
         }),
         Class::W => Some(VerifySet {
             dt: 0.0015,
-        // regenerated: true — class W constants pinned from the serial
-        // opt build (DESIGN.md verification policy); they guard style,
-        // thread-count and regression consistency.
+            // regenerated: true — class W constants pinned from the serial
+            // opt build (DESIGN.md verification policy); they guard style,
+            // thread-count and regression consistency.
             xcr: [
                 1.8932537335839799e-3,
                 1.7170754477742112e-4,

@@ -398,15 +398,7 @@ mod tests {
                 max4(c.dx[1] + c.con43 * ru1, c.dx[4] + c.c1c5 * ru1, c.dxmax + ru1, c.dx[0]);
         }
         let speed = f.speed.clone();
-        build_lhs(
-            &mut line,
-            n,
-            |i| speed[idx(12, 12, i, j, k)],
-            c.dttx1,
-            c.dttx2,
-            c.c2dttx1,
-            &c,
-        );
+        build_lhs(&mut line, n, |i| speed[idx(12, 12, i, j, k)], c.dttx1, c.dttx2, c.c2dttx1, &c);
         // Dense version of `lhs`.
         let mut dense = vec![vec![0.0f64; n]; n];
         for i in 0..n {
@@ -423,8 +415,8 @@ mod tests {
         let mut a = dense.clone();
         let mut x = b.clone();
         for col in 0..n {
-            let piv = (col..n).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
-                .unwrap();
+            let piv =
+                (col..n).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs())).unwrap();
             a.swap(col, piv);
             x.swap(col, piv);
             for r in col + 1..n {
@@ -448,11 +440,7 @@ mod tests {
         drop(rhs);
         for i in 0..n {
             let got = f.rhs[f.idx5(0, i, j, k)];
-            assert!(
-                (got - x[i]).abs() < 1e-10 * (1.0 + x[i].abs()),
-                "i={i}: {got} vs {}",
-                x[i]
-            );
+            assert!((got - x[i]).abs() < 1e-10 * (1.0 + x[i].abs()), "i={i}: {got} vs {}", x[i]);
         }
     }
 

@@ -38,12 +38,7 @@ fn main() {
     }
 
     for m in 0..5 {
-        assert!(
-            last[m] < e0[m],
-            "component {m} failed to converge: {} -> {}",
-            e0[m],
-            last[m]
-        );
+        assert!(last[m] < e0[m], "component {m} failed to converge: {} -> {}", e0[m], last[m]);
     }
     println!("\nall five components converged toward the exact solution.");
 }

@@ -8,7 +8,7 @@
 //! cargo run --release --example spectral_heat
 //! ```
 
-use npb_ft::{c64, fft3d_inplace, C64, FftTable, FtParams};
+use npb_ft::{c64, fft3d_inplace, FftTable, FtParams, C64};
 
 fn main() {
     let p = FtParams { nx: 32, ny: 32, nz: 32, niter: 5 };
@@ -23,7 +23,8 @@ fn main() {
             let i = id % p.nx;
             let j = (id / p.nx) % p.ny;
             let k = id / (p.nx * p.ny);
-            let phase = 2.0 * std::f64::consts::PI
+            let phase = 2.0
+                * std::f64::consts::PI
                 * (kx as f64 * i as f64 / p.nx as f64
                     + ky as f64 * j as f64 / p.ny as f64
                     + kz as f64 * k as f64 / p.nz as f64);
@@ -41,9 +42,7 @@ fn main() {
     fft3d_inplace::<false>(1, &p, &table, &mut u, None);
     let factors: Vec<f64> = (0..n)
         .map(|id| {
-            let fold = |x: usize, nn: usize| {
-                (((x + nn / 2) % nn) as i64 - (nn / 2) as i64) as f64
-            };
+            let fold = |x: usize, nn: usize| (((x + nn / 2) % nn) as i64 - (nn / 2) as i64) as f64;
             let ii = fold(id % p.nx, p.nx);
             let jj = fold((id / p.nx) % p.ny, p.ny);
             let kk = fold(id / (p.nx * p.ny), p.nz);

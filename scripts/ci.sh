@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, full test suite, chaos smoke, lints.
+# Offline CI gate: format, build, full test suite, chaos smokes, lints.
 # Hermetic by construction — the workspace has no registry dependencies,
 # so every step below works without network access.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --check
 
 echo "== tier-1: build =="
 cargo build --release
@@ -11,9 +14,21 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test --workspace -q
 
-echo "== chaos smoke =="
+echo "== chaos smoke (in-process) =="
 # Injected worker panic on the first attempt, clean retry must verify.
 cargo run --release --bin npb -- ep --class S --threads 4 --inject panic:1 --retries 1
+
+echo "== chaos smoke (suite supervisor) =="
+# A hang-injected cell wedges a rank, which in-process can only end in
+# watchdog death; the supervisor must deadline-kill the child, retry
+# clean, and end verified (exit 0).
+manifest="$(mktemp -t npb-suite-ci.XXXXXX.jsonl)"
+trap 'rm -f "$manifest"' EXIT
+cargo run --release --bin npb-suite -- ep --class S --threads 2 \
+    --inject hang:1 --deadline-ms 2000 --retries 1 --backoff-ms 0 \
+    --manifest "$manifest"
+grep -q '"outcome":"deadline-killed"' "$manifest"
+grep -q '"event":"cell".*"outcome":"verified"' "$manifest"
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,285 @@
+//! `npb-suite` — the process-isolated suite supervisor CLI.
+//!
+//! ```text
+//! npb-suite <BENCH[,BENCH...]|all>
+//!           [--class S[,W,...]] [--style opt[,safe]] [--threads N[,M,...]]
+//!           [--deadline-ms MS] [--retries N] [--inject panic|delay|hang|nan[:SEED]]
+//!           [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]
+//!           [--manifest PATH] [--resume PATH] [--npb-bin PATH]
+//! ```
+//!
+//! Runs each (benchmark, class, style, threads) cell of the sweep as an
+//! isolated child `npb` process, so one hung or dying cell cannot take
+//! the campaign with it (which is exactly what a watchdog exit or a
+//! wedged rank does to an in-process `npb all`):
+//!
+//! * `--deadline-ms` kills (then reaps) any child that overstays its
+//!   wall-clock budget — the fault the in-process watchdog can only
+//!   answer by dying;
+//! * `--retries N` re-runs a failed cell up to N times per ladder rung,
+//!   sleeping a deterministic exponential backoff (randlc-seeded jitter,
+//!   `--seed`/`--backoff-ms`) between attempts;
+//! * repeated region-class failures walk the degradation ladder
+//!   (threads N → N/2 → … → serial) before the cell is quarantined;
+//!   quarantined cells are reported, never silently dropped;
+//! * `--manifest PATH` journals every attempt and outcome to an
+//!   append-only JSONL file; `--resume PATH` skips cells the journal
+//!   already completed, so a killed sweep continues where it died;
+//! * `--inject` forwards a one-shot fault spec to the *first* attempt
+//!   of every cell (chaos testing; retries run clean);
+//! * `--child-timeout-ms` forwards `--timeout` to children, arming
+//!   their in-process watchdog (exit 3) under the supervisor's deadline.
+//!
+//! Exit codes: 0 every cell of the sweep verified; 1 any cell failed or
+//! was quarantined; 2 usage error.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use npb::BENCHMARKS;
+use npb_core::{Class, Style};
+use npb_harness::manifest::{Cell, CellStatus, Manifest, ResumeState};
+use npb_harness::read_manifest;
+use npb_harness::supervisor::{run_sweep, SuiteConfig};
+use npb_runtime::{FaultKind, FaultPlan};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: npb-suite <{}|all>\n\
+         \x20         [--class S[,W,...]] [--style opt[,safe]] [--threads N[,M,...]]\n\
+         \x20         [--deadline-ms MS] [--retries N] [--inject panic|delay|hang|nan[:SEED]]\n\
+         \x20         [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]\n\
+         \x20         [--manifest PATH] [--resume PATH] [--npb-bin PATH]",
+        BENCHMARKS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("npb-suite: {msg}");
+    std::process::exit(2);
+}
+
+/// Locate the `npb` driver binary: an explicit `--npb-bin`, or the
+/// sibling of this executable (both live in the same cargo target dir).
+fn discover_npb_bin(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(path) = explicit {
+        if !path.is_file() {
+            fail(&format!("--npb-bin {}: no such file", path.display()));
+        }
+        return path;
+    }
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|d| d.join("npb")))
+        .filter(|p| p.is_file());
+    match sibling {
+        Some(p) => p,
+        None => fail(
+            "could not find the `npb` binary next to npb-suite; \
+             build it (cargo build --release) or pass --npb-bin <path>",
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut benches: Vec<String> = Vec::new();
+    let which = args[0].clone();
+    if which.eq_ignore_ascii_case("all") {
+        benches.extend(BENCHMARKS.iter().map(|b| b.to_string()));
+    } else {
+        for b in which.split(',') {
+            let b = b.to_ascii_uppercase();
+            if !BENCHMARKS.contains(&b.as_str()) {
+                fail(&format!("unknown benchmark {b:?} (expected one of {BENCHMARKS:?} or all)"));
+            }
+            benches.push(b);
+        }
+    }
+
+    let mut classes = vec![Class::S];
+    let mut styles = vec![Style::Opt];
+    let mut threads: Vec<usize> = vec![0];
+    let mut deadline: Option<Duration> = None;
+    let mut retries = 0usize;
+    let mut inject: Option<String> = None;
+    let mut backoff_ms = 100u64;
+    let mut seed = 1u64;
+    let mut child_timeout_ms: Option<u64> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
+    let mut npb_bin: Option<PathBuf> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().cloned().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--class" | "-c" => {
+                classes = val(&mut it)
+                    .split(',')
+                    .map(|c| {
+                        c.parse().unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            usage()
+                        })
+                    })
+                    .collect()
+            }
+            "--style" | "-s" => {
+                styles = val(&mut it)
+                    .split(',')
+                    .map(|s| {
+                        s.parse().unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            usage()
+                        })
+                    })
+                    .collect()
+            }
+            "--threads" | "-t" => {
+                threads =
+                    val(&mut it).split(',').map(|t| t.parse().unwrap_or_else(|_| usage())).collect()
+            }
+            "--deadline-ms" => {
+                let ms: u64 = val(&mut it).parse().unwrap_or_else(|_| usage());
+                deadline = Some(Duration::from_millis(ms));
+            }
+            "--retries" => retries = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--inject" => inject = Some(val(&mut it)),
+            "--backoff-ms" => backoff_ms = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--child-timeout-ms" => {
+                child_timeout_ms = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--manifest" => manifest_path = Some(PathBuf::from(val(&mut it))),
+            "--resume" => resume_path = Some(PathBuf::from(val(&mut it))),
+            "--npb-bin" => npb_bin = Some(PathBuf::from(val(&mut it))),
+            _ => usage(),
+        }
+    }
+
+    // Validate the fault spec here, once, instead of letting every cell
+    // fail with a child usage error; worker faults need worker threads.
+    if let Some(spec) = &inject {
+        let plan = FaultPlan::parse(spec).unwrap_or_else(|e| {
+            eprintln!("npb-suite: {e}");
+            usage()
+        });
+        if plan.kind != FaultKind::Nan && threads.contains(&0) {
+            fail(&format!(
+                "--inject {spec}: worker faults need worker threads, but the sweep \
+                 includes a serial (--threads 0) width"
+            ));
+        }
+    }
+
+    if manifest_path.is_some() && resume_path.is_some() {
+        fail(
+            "--manifest and --resume are mutually exclusive (resume appends to the given manifest)",
+        );
+    }
+
+    // The sweep, bench-major like `npb all`, with the full cross-product
+    // of the class/style/thread axes (the paper's Tables 2-6 shape).
+    let mut cells = Vec::new();
+    for bench in &benches {
+        for &class in &classes {
+            for &style in &styles {
+                for &t in &threads {
+                    cells.push(Cell { bench: bench.clone(), class, style, threads: t });
+                }
+            }
+        }
+    }
+
+    // Resume: learn which cells the journal already completed, then
+    // keep appending to the same file.
+    let (mut manifest, resume) = if let Some(path) = resume_path {
+        let state = read_manifest(&path).unwrap_or_else(|e| {
+            fail(&format!("--resume {}: {e}", path.display()));
+        });
+        if state.torn_lines > 0 {
+            eprintln!(
+                "npb-suite: resume: skipped {} torn line(s) at the journal tail \
+                 (the previous run died mid-append)",
+                state.torn_lines
+            );
+        }
+        let manifest = Manifest::append(&path).unwrap_or_else(|e| {
+            fail(&format!("--resume {}: {e}", path.display()));
+        });
+        (Some(manifest), state)
+    } else if let Some(path) = manifest_path {
+        let manifest = Manifest::create(&path).unwrap_or_else(|e| {
+            fail(&format!("--manifest {}: {e}", path.display()));
+        });
+        (Some(manifest), ResumeState::default())
+    } else {
+        (None, ResumeState::default())
+    };
+
+    let cfg = SuiteConfig {
+        npb_bin: discover_npb_bin(npb_bin),
+        deadline,
+        retries,
+        inject,
+        child_timeout_ms,
+        backoff_base_ms: backoff_ms,
+        seed,
+    };
+
+    if let Some(m) = manifest.as_mut() {
+        if let Err(e) = m.run_header(cells.len(), seed, !resume.completed.is_empty()) {
+            fail(&format!("manifest write failed: {e}"));
+        }
+    }
+
+    let result = match run_sweep(&cfg, &cells, manifest.as_mut(), &resume) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("manifest write failed: {e}")),
+    };
+
+    // Summary: every cell accounted for, quarantines named explicitly.
+    let mut verified = 0usize;
+    let mut failed = 0usize;
+    let mut quarantined = 0usize;
+    for o in &result.outcomes {
+        match o.status {
+            CellStatus::Verified => verified += 1,
+            CellStatus::Quarantined => quarantined += 1,
+            CellStatus::Failed(_) => failed += 1,
+        }
+    }
+    println!(
+        "\nnpb-suite: {} cell(s): {verified} verified, {failed} failed, \
+         {quarantined} quarantined{}",
+        result.outcomes.len(),
+        if result.skipped > 0 {
+            format!(" ({} skipped via resume)", result.skipped)
+        } else {
+            String::new()
+        }
+    );
+    for o in &result.outcomes {
+        if o.status != CellStatus::Verified {
+            println!(
+                "npb-suite:   {}: {} after {} attempt(s), {} kill(s)",
+                o.cell,
+                o.status.tag(),
+                o.attempts,
+                o.kills
+            );
+        }
+    }
+
+    if !result.all_verified() {
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! npb <BENCH|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]
 //!                 [--timeout MS] [--inject panic|delay|hang|nan[:SEED]] [--retries N]
+//!                 [--json]
 //! ```
 //!
 //! `--threads 0` (default) is the pure serial path.
@@ -20,6 +21,10 @@
 //!   verified quantity) before the first attempt of each benchmark.
 //! * `--retries N` reruns a benchmark whose parallel region failed, up to
 //!   N times (injected faults are one-shot, so a retry runs clean).
+//! * `--json` additionally emits one machine-readable JSON object per
+//!   benchmark on stdout (name, class, style, threads, verification,
+//!   Mop/s, time, attempt count) — the structured channel the
+//!   `npb-suite` supervisor parses instead of scraping banners.
 //!
 //! Exit codes: 0 all benchmarks verified; 1 a benchmark failed
 //! verification or its region failed beyond the retry budget; 2 usage
@@ -32,7 +37,8 @@ use npb::{try_run_benchmark, Class, FaultPlan, RunError, RunOptions, Style, BENC
 fn usage() -> ! {
     eprintln!(
         "usage: npb <{}|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
-         \x20          [--timeout MS] [--inject panic|delay|hang|nan[:SEED]] [--retries N]",
+         \x20          [--timeout MS] [--inject panic|delay|hang|nan[:SEED]] [--retries N]\n\
+         \x20          [--json]",
         BENCHMARKS.join("|")
     );
     std::process::exit(2);
@@ -66,6 +72,7 @@ fn main() {
     let mut timeout: Option<Duration> = None;
     let mut inject: Option<FaultPlan> = None;
     let mut retries = 0usize;
+    let mut json = false;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -73,14 +80,18 @@ fn main() {
             it.next().cloned().unwrap_or_else(|| usage())
         };
         match flag.as_str() {
-            "--class" | "-c" => class = val(&mut it).parse().unwrap_or_else(|e| {
-                eprintln!("{e}");
-                usage()
-            }),
-            "--style" | "-s" => style = val(&mut it).parse().unwrap_or_else(|e| {
-                eprintln!("{e}");
-                usage()
-            }),
+            "--class" | "-c" => {
+                class = val(&mut it).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--style" | "-s" => {
+                style = val(&mut it).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--threads" | "-t" => threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--timeout" => {
                 let ms: u64 = val(&mut it).parse().unwrap_or_else(|_| usage());
@@ -93,13 +104,13 @@ fn main() {
                 }));
             }
             "--retries" => retries = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--json" => json = true,
             _ => usage(),
         }
     }
 
     which.make_ascii_uppercase();
-    let list: Vec<&str> =
-        if which == "ALL" { BENCHMARKS.to_vec() } else { vec![which.as_str()] };
+    let list: Vec<&str> = if which == "ALL" { BENCHMARKS.to_vec() } else { vec![which.as_str()] };
 
     let mut failed = false;
     for name in list {
@@ -111,6 +122,9 @@ fn main() {
             match try_run_benchmark(name, class, style, threads, &opts) {
                 Ok(report) => {
                     println!("{}", report.banner());
+                    if json {
+                        println!("{}", report.to_json(attempt + 1));
+                    }
                     failed |= !report.verified.is_success()
                         && report.verified != npb::Verified::NotPerformed;
                     break;

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use npb::{
-    try_run_benchmark, Class, FaultKind, FaultPlan, RegionError, RunError, RunOptions, Style,
-    Team, Verified,
+    try_run_benchmark, Class, FaultKind, FaultPlan, RegionError, RunError, RunOptions, Style, Team,
+    Verified,
 };
 
 /// Run `f` on a helper thread; fail (instead of deadlocking the whole
@@ -24,8 +24,7 @@ fn guarded<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static)
     std::thread::spawn(move || {
         let _ = tx.send(f());
     });
-    rx.recv_timeout(Duration::from_secs(secs))
-        .expect("watchdog: guarded section deadlocked")
+    rx.recv_timeout(Duration::from_secs(secs)).expect("watchdog: guarded section deadlocked")
 }
 
 #[test]
@@ -38,9 +37,8 @@ fn injected_panic_mid_barrier_is_reported_and_team_recovers_at_full_width() {
 
         // The victim unwinds at region entry while its siblings wait in
         // the barrier; poisoning must release them instead of hanging.
-        let err = team
-            .try_exec(|p| p.barrier())
-            .expect_err("armed panic fault must fail the region");
+        let err =
+            team.try_exec(|p| p.barrier()).expect_err("armed panic fault must fail the region");
         match err {
             RegionError::Panicked { tids } => {
                 assert_eq!(tids, vec![victim], "only the victim is a primary panic")
@@ -138,10 +136,7 @@ fn injected_panic_fails_a_real_benchmark_then_retry_succeeds() {
 // ---- driver subprocesses (exit codes) --------------------------------
 
 fn npb(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_npb"))
-        .args(args)
-        .output()
-        .expect("spawn npb driver")
+    Command::new(env!("CARGO_BIN_EXE_npb")).args(args).output().expect("spawn npb driver")
 }
 
 #[test]
@@ -154,7 +149,8 @@ fn driver_nan_injection_exits_1() {
 fn driver_injected_panic_with_retry_exits_0() {
     // The ISSUE's chaos smoke: the first attempt dies on the injected
     // panic, the retry runs clean and verifies.
-    let out = npb(&["ep", "--class", "S", "--threads", "2", "--inject", "panic:1", "--retries", "1"]);
+    let out =
+        npb(&["ep", "--class", "S", "--threads", "2", "--inject", "panic:1", "--retries", "1"]);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
     assert!(stderr.contains("retrying"), "first attempt must have failed: {stderr}");
@@ -177,9 +173,8 @@ fn driver_watchdog_timeout_terminates_with_watchdog_exit_code() {
     // A hang-injected rank wedges at region entry; the safe watchdog
     // cannot kill or abandon it, so it must terminate the process with
     // the dedicated exit code, naming the stuck rank.
-    let out = npb(&[
-        "ep", "--class", "S", "--threads", "2", "--inject", "hang:1", "--timeout", "500",
-    ]);
+    let out =
+        npb(&["ep", "--class", "S", "--threads", "2", "--inject", "hang:1", "--timeout", "500"]);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(npb::WATCHDOG_EXIT_CODE), "stderr: {stderr}");
     assert!(stderr.contains("never arrived"), "stderr: {stderr}");
