@@ -19,8 +19,10 @@ pub use params::{reference, BtParams};
 use npb_cfd_common::{
     add, compute_rhs, error_norm, exact_rhs, initialize, rhs_norm, verify_norms, Consts, Fields,
 };
-use npb_core::{BenchReport, Class, Style, Verified};
-use npb_runtime::Team;
+use npb_core::{
+    BenchReport, Class, GuardAction, GuardConfig, GuardStats, SdcGuard, Style, Verified,
+};
+use npb_runtime::{escalate_corruption, Team};
 
 /// BT benchmark instance.
 pub struct BtState {
@@ -41,6 +43,8 @@ pub struct BtOutcome {
     pub xce: [f64; 5],
     /// Seconds in the timed section.
     pub secs: f64,
+    /// What the SDC guard did (recoveries, checkpoints, overhead).
+    pub guard: GuardStats,
 }
 
 impl BtState {
@@ -62,14 +66,41 @@ impl BtState {
     /// Full benchmark: initialize, one untimed warm-up step,
     /// re-initialize, `niter` timed steps, verification norms.
     pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> BtOutcome {
+        self.run_guarded::<SAFE>(team, &GuardConfig::default())
+    }
+
+    /// [`BtState::run`] under the in-computation SDC guard. Each ADI
+    /// step recomputes `rhs` and every auxiliary field from the solution
+    /// `u`, so `u` is the complete inter-iteration state the guard
+    /// watches and restores.
+    pub fn run_guarded<const SAFE: bool>(
+        &mut self,
+        team: Option<&Team>,
+        gcfg: &GuardConfig,
+    ) -> BtOutcome {
         initialize(&mut self.fields, &self.consts);
         exact_rhs(&mut self.fields, &self.consts);
         self.adi::<SAFE>(team);
         initialize(&mut self.fields, &self.consts);
 
         let t0 = std::time::Instant::now();
-        for _step in 0..self.p.niter {
+        let mut guard = SdcGuard::new(gcfg, self.p.niter);
+        guard.init(&[&self.fields.u[..]]);
+        let mut it = 0;
+        while it < self.p.niter {
+            match guard.begin(it, &mut [&mut self.fields.u[..]]) {
+                GuardAction::Continue => {}
+                GuardAction::Rollback { resume } => {
+                    it = resume;
+                    continue;
+                }
+                GuardAction::Escalate { iteration, detections } => {
+                    escalate_corruption(iteration, detections)
+                }
+            }
             self.adi::<SAFE>(team);
+            guard.end(it, &[&self.fields.u[..]], None);
+            it += 1;
         }
         let secs = t0.elapsed().as_secs_f64();
 
@@ -79,7 +110,7 @@ impl BtState {
         for m in 0..5 {
             xcr[m] /= self.consts.dt;
         }
-        BtOutcome { xcr, xce, secs }
+        BtOutcome { xcr, xce, secs, guard: guard.stats() }
     }
 }
 
@@ -91,10 +122,21 @@ pub fn verify(class: Class, out: &BtOutcome) -> Verified {
 
 /// Run the BT benchmark and produce the standard report.
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    run_with_guard(class, style, team, &GuardConfig::default())
+}
+
+/// [`run`] with an explicit SDC-guard configuration (the `npb` driver's
+/// `--sdc-guard` / `--checkpoint-every` path).
+pub fn run_with_guard(
+    class: Class,
+    style: Style,
+    team: Option<&Team>,
+    gcfg: &GuardConfig,
+) -> BenchReport {
     let mut st = BtState::new(class);
     let out = match style {
-        Style::Opt => st.run::<false>(team),
-        Style::Safe => st.run::<true>(team),
+        Style::Opt => st.run_guarded::<false>(team, gcfg),
+        Style::Safe => st.run_guarded::<true>(team, gcfg),
     };
     BenchReport {
         name: "BT",
@@ -106,6 +148,9 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         threads: team.map_or(0, Team::size),
         style,
         verified: verify(class, &out),
+        recoveries: out.guard.recoveries,
+        checkpoint_count: out.guard.checkpoint_count,
+        checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
     }
 }
 

@@ -18,8 +18,11 @@ mod params;
 pub use makea::{makea, Csr};
 pub use params::CgParams;
 
-use npb_core::{fmadd, ld, BenchReport, Class, Randlc, Style, Verified};
-use npb_runtime::{run_par, Partials, SharedMut, Team};
+use npb_core::{
+    fmadd, ld, BenchReport, Class, GuardAction, GuardConfig, GuardStats, Randlc, SdcGuard, Style,
+    Verified,
+};
+use npb_runtime::{escalate_corruption, run_par, Partials, SharedMut, Team};
 
 /// Number of CG iterations per outer power step (NPB `cgitmax`).
 pub const CGITMAX: usize = 25;
@@ -45,6 +48,8 @@ pub struct CgOutcome {
     pub rnorm: f64,
     /// Seconds in the timed section.
     pub secs: f64,
+    /// What the SDC guard did (recoveries, checkpoints, overhead).
+    pub guard: GuardStats,
 }
 
 impl CgState {
@@ -191,21 +196,48 @@ impl CgState {
     /// Full benchmark: one untimed warm-up conj_grad, reset, then `niter`
     /// timed power steps.
     pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> CgOutcome {
+        self.run_guarded::<SAFE>(team, &GuardConfig::default())
+    }
+
+    /// [`CgState::run`] under the in-computation SDC guard: the state
+    /// carried across power steps is exactly `x` (every other vector is
+    /// regenerated by `conj_grad` from it), so `x` is what the guard
+    /// watches, checkpoints and restores.
+    pub fn run_guarded<const SAFE: bool>(
+        &mut self,
+        team: Option<&Team>,
+        gcfg: &GuardConfig,
+    ) -> CgOutcome {
         // Untimed warm-up (NPB: "init all code and data page tables").
         self.x.fill(1.0);
         self.conj_grad::<SAFE>(team);
         self.power_step();
         self.x.fill(1.0);
 
+        let mut guard = SdcGuard::new(gcfg, self.p.niter);
+        guard.init(&[&self.x[..]]);
         let mut zeta = 0.0;
         let mut rnorm = 0.0;
         let t0 = std::time::Instant::now();
-        for _it in 0..self.p.niter {
+        let mut it = 0;
+        while it < self.p.niter {
+            match guard.begin(it, &mut [&mut self.x[..]]) {
+                GuardAction::Continue => {}
+                GuardAction::Rollback { resume } => {
+                    it = resume;
+                    continue;
+                }
+                GuardAction::Escalate { iteration, detections } => {
+                    escalate_corruption(iteration, detections)
+                }
+            }
             rnorm = self.conj_grad::<SAFE>(team);
             zeta = self.power_step();
+            guard.end(it, &[&self.x[..]], Some(rnorm));
+            it += 1;
         }
         let secs = t0.elapsed().as_secs_f64();
-        CgOutcome { zeta, rnorm, secs }
+        CgOutcome { zeta, rnorm, secs, guard: guard.stats() }
     }
 }
 
@@ -226,10 +258,21 @@ pub fn verify(class: Class, zeta: f64) -> Verified {
 
 /// Run the CG benchmark and produce the standard report.
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    run_with_guard(class, style, team, &GuardConfig::default())
+}
+
+/// [`run`] with an explicit SDC-guard configuration (the `npb` driver's
+/// `--sdc-guard` / `--checkpoint-every` path).
+pub fn run_with_guard(
+    class: Class,
+    style: Style,
+    team: Option<&Team>,
+    gcfg: &GuardConfig,
+) -> BenchReport {
     let mut st = CgState::new(class);
     let out = match style {
-        Style::Opt => st.run::<false>(team),
-        Style::Safe => st.run::<true>(team),
+        Style::Opt => st.run_guarded::<false>(team, gcfg),
+        Style::Safe => st.run_guarded::<true>(team, gcfg),
     };
     let p = st.params();
     BenchReport {
@@ -242,6 +285,9 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         threads: team.map_or(0, Team::size),
         style,
         verified: verify(class, out.zeta),
+        recoveries: out.guard.recoveries,
+        checkpoint_count: out.guard.checkpoint_count,
+        checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
     }
 }
 
@@ -306,5 +352,26 @@ mod tests {
     #[test]
     fn verify_rejects_wrong_zeta() {
         assert_eq!(verify(Class::S, 8.6), Verified::Failure);
+    }
+
+    #[test]
+    fn guarded_run_recovers_from_armed_bitflip() {
+        use npb_core::{arm_bitflip, ArmedBitFlip};
+        let flip = ArmedBitFlip { iter_frac: 0.45, elem_frac: 0.2, bit_frac: 0.5 };
+
+        // Control: the same flip without the guard corrupts zeta.
+        arm_bitflip(flip);
+        let mut st = CgState::new(Class::S);
+        let corrupt = st.run_guarded::<false>(None, &GuardConfig::default());
+        assert_eq!(verify(Class::S, corrupt.zeta), Verified::Failure, "zeta = {}", corrupt.zeta);
+        assert_eq!(corrupt.guard.recoveries, 0);
+
+        // Guarded: detected, rolled back, verification passes.
+        arm_bitflip(flip);
+        let mut st = CgState::new(Class::S);
+        let healed = st.run_guarded::<false>(None, &GuardConfig::enabled_every(2));
+        assert_eq!(verify(Class::S, healed.zeta), Verified::Success, "zeta = {}", healed.zeta);
+        assert_eq!(healed.guard.recoveries, 1);
+        assert!(healed.guard.checkpoint_count >= 2);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`timer`] — the multi-slot wall-clock timers NPB codes use,
 //! * [`verify`] — verification outcome types and the NPB relative-error
 //!   comparison,
+//! * [`guard`] — in-computation SDC detection (per-iteration invariant
+//!   monitors), iteration-level checkpoint/rollback, and the
+//!   deterministic bit-flip hook,
 //! * [`report`] — the standard NPB result banner,
 //! * [`access`] — the dual-style (bounds-checked "Java" vs unchecked
 //!   "Fortran") element access used to reproduce the paper's
@@ -21,6 +24,7 @@
 
 pub mod access;
 pub mod class;
+pub mod guard;
 pub mod random;
 pub mod report;
 pub mod timer;
@@ -28,6 +32,10 @@ pub mod verify;
 
 pub use access::{fmadd, ld, st, Style};
 pub use class::Class;
+pub use guard::{
+    arm_bitflip, bitflip_armed, ArmedBitFlip, GuardAction, GuardConfig, GuardStats, IterationGuard,
+    SdcGuard,
+};
 pub use random::{ipow46, randlc, vranlc, Randlc, RandlcInt, A_DEFAULT, SEED_DEFAULT};
 pub use report::BenchReport;
 pub use timer::Timers;

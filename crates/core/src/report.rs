@@ -47,6 +47,14 @@ pub struct BenchReport {
     pub style: Style,
     /// Verification outcome.
     pub verified: Verified,
+    /// SDC detections answered by a checkpoint rollback (see
+    /// [`crate::guard`]); 0 when the guard is off or nothing corrupted.
+    pub recoveries: usize,
+    /// In-memory checkpoints taken by the SDC guard.
+    pub checkpoint_count: usize,
+    /// Wall-clock seconds spent in the guard layer (checks + snapshots),
+    /// so checkpoint cost is visible in sweeps.
+    pub checkpoint_overhead_s: f64,
 }
 
 impl BenchReport {
@@ -67,7 +75,7 @@ impl BenchReport {
         } else {
             format!("{} threads", self.threads)
         };
-        format!(
+        let mut banner = format!(
             "\n\n {} Benchmark Completed.\n\
              Class           =             {}\n\
              Size            =  {}\n\
@@ -85,7 +93,17 @@ impl BenchReport {
             threads,
             self.style.label(),
             ver
-        )
+        );
+        // The SDC-guard lines appear only when the guard ran, so the
+        // classic banner is untouched for plain runs.
+        if self.checkpoint_count > 0 || self.recoveries > 0 {
+            banner.push_str(&format!(
+                "Recoveries      = {:>12}\n\
+                 Checkpoints     = {:>12} ({:.3}s overhead)\n",
+                self.recoveries, self.checkpoint_count, self.checkpoint_overhead_s
+            ));
+        }
+        banner
     }
 
     /// One-line machine-readable JSON record (the structured channel the
@@ -105,7 +123,8 @@ impl BenchReport {
         format!(
             "{{\"name\":\"{}\",\"class\":\"{}\",\"style\":\"{}\",\"threads\":{},\
              \"size\":[{},{},{}],\"niter\":{},\"time_secs\":{},\"mops\":{},\
-             \"verified\":\"{}\",\"attempts\":{}}}",
+             \"verified\":\"{}\",\"attempts\":{},\"recoveries\":{},\
+             \"checkpoint_count\":{},\"checkpoint_overhead_s\":{}}}",
             json_escape(self.name),
             json_escape(&self.class.to_string()),
             json_escape(self.style.label()),
@@ -117,7 +136,10 @@ impl BenchReport {
             self.time_secs,
             self.mops,
             verified,
-            attempts
+            attempts,
+            self.recoveries,
+            self.checkpoint_count,
+            self.checkpoint_overhead_s
         )
     }
 
@@ -151,6 +173,9 @@ mod tests {
             threads: 4,
             style: Style::Opt,
             verified: Verified::Success,
+            recoveries: 0,
+            checkpoint_count: 0,
+            checkpoint_overhead_s: 0.0,
         }
     }
 
@@ -180,8 +205,34 @@ mod tests {
             sample().to_json(2),
             "{\"name\":\"CG\",\"class\":\"S\",\"style\":\"opt\",\"threads\":4,\
              \"size\":[1400,0,0],\"niter\":15,\"time_secs\":0.123,\"mops\":456.7,\
-             \"verified\":\"success\",\"attempts\":2}"
+             \"verified\":\"success\",\"attempts\":2,\"recoveries\":0,\
+             \"checkpoint_count\":0,\"checkpoint_overhead_s\":0}"
         );
+    }
+
+    #[test]
+    fn json_guard_fields_round_trip() {
+        let mut r = sample();
+        r.recoveries = 2;
+        r.checkpoint_count = 7;
+        r.checkpoint_overhead_s = 0.015625; // exactly representable
+        let j = r.to_json(1);
+        assert!(j.contains("\"recoveries\":2"));
+        assert!(j.contains("\"checkpoint_count\":7"));
+        // Shortest-roundtrip float formatting: the value survives the
+        // trip through the supervisor's reader bit-exactly.
+        assert!(j.contains("\"checkpoint_overhead_s\":0.015625"));
+    }
+
+    #[test]
+    fn banner_reports_recoveries_only_when_the_guard_ran() {
+        let mut r = sample();
+        assert!(!r.banner().contains("Recoveries"));
+        r.recoveries = 1;
+        r.checkpoint_count = 8;
+        let b = r.banner();
+        assert!(b.contains("Recoveries      =            1"));
+        assert!(b.contains("Checkpoints     =            8"));
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub fn as_f64_mut(x: &mut [C64]) -> &mut [f64] {
     unsafe { std::slice::from_raw_parts_mut(x.as_mut_ptr().cast::<f64>(), len) }
 }
 
+/// Shared view of a complex slice as interleaved `f64` (for checksums
+/// and the SDC guard, which hash/scan raw doubles).
+pub fn as_f64(x: &[C64]) -> &[f64] {
+    let len = 2 * x.len();
+    // SAFETY: same layout argument as `as_f64_mut`.
+    unsafe { std::slice::from_raw_parts(x.as_ptr().cast::<f64>(), len) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,9 +21,10 @@ pub use fft::{cfftz, FftTable};
 pub use params::{reference_checksums, FtParams};
 
 use npb_core::{
-    ipow46, randlc, vranlc, BenchReport, Class, Style, Verified, A_DEFAULT, SEED_DEFAULT,
+    ipow46, randlc, vranlc, BenchReport, Class, GuardAction, GuardConfig, GuardStats, SdcGuard,
+    Style, Verified, A_DEFAULT, SEED_DEFAULT,
 };
-use npb_runtime::{run_par, SharedMut, Team};
+use npb_runtime::{escalate_corruption, run_par, SharedMut, Team};
 
 const ALPHA: f64 = 1.0e-6;
 
@@ -46,6 +47,8 @@ pub struct FtOutcome {
     pub sums: Vec<C64>,
     /// Seconds in the timed section.
     pub secs: f64,
+    /// What the SDC guard did (recoveries, checkpoints, overhead).
+    pub guard: GuardStats,
 }
 
 impl FtState {
@@ -158,6 +161,19 @@ impl FtState {
     /// (index map, initial conditions, forward FFT, `niter` evolve /
     /// inverse-FFT / checksum steps), as `ft.f` structures it.
     pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> FtOutcome {
+        self.run_guarded::<SAFE>(team, &GuardConfig::default())
+    }
+
+    /// [`FtState::run`] under the in-computation SDC guard. The only
+    /// state a time step carries forward is the spectral field `u0`
+    /// (`evolve` derives `u1` from it, the inverse FFT and checksum only
+    /// consume `u1`), so the guard watches and restores `u0`; on
+    /// rollback the checksums of the replayed steps are truncated.
+    pub fn run_guarded<const SAFE: bool>(
+        &mut self,
+        team: Option<&Team>,
+        gcfg: &GuardConfig,
+    ) -> FtOutcome {
         // Untimed warm-up: touch every page once.
         self.compute_indexmap(team);
         self.compute_initial_conditions(team);
@@ -168,13 +184,29 @@ impl FtState {
         self.compute_initial_conditions(team);
         fft3d::<SAFE>(1, &self.p, &self.table, &mut self.u1, &mut self.u0, team);
         let mut sums = Vec::with_capacity(self.p.niter);
-        for _iter in 1..=self.p.niter {
+        let mut guard = SdcGuard::new(gcfg, self.p.niter);
+        guard.init(&[complex::as_f64(&self.u0)]);
+        let mut it = 0;
+        while it < self.p.niter {
+            match guard.begin(it, &mut [complex::as_f64_mut(&mut self.u0)]) {
+                GuardAction::Continue => {}
+                GuardAction::Rollback { resume } => {
+                    sums.truncate(resume);
+                    it = resume;
+                    continue;
+                }
+                GuardAction::Escalate { iteration, detections } => {
+                    escalate_corruption(iteration, detections)
+                }
+            }
             self.evolve(team);
             fft3d_inplace::<SAFE>(-1, &self.p, &self.table, &mut self.u1, team);
             sums.push(self.checksum());
+            guard.end(it, &[complex::as_f64(&self.u0)], None);
+            it += 1;
         }
         let secs = t0.elapsed().as_secs_f64();
-        FtOutcome { sums, secs }
+        FtOutcome { sums, secs, guard: guard.stats() }
     }
 }
 
@@ -329,10 +361,21 @@ pub fn verify(class: Class, sums: &[C64]) -> Verified {
 
 /// Run the FT benchmark and produce the standard report.
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    run_with_guard(class, style, team, &GuardConfig::default())
+}
+
+/// [`run`] with an explicit SDC-guard configuration (the `npb` driver's
+/// `--sdc-guard` / `--checkpoint-every` path).
+pub fn run_with_guard(
+    class: Class,
+    style: Style,
+    team: Option<&Team>,
+    gcfg: &GuardConfig,
+) -> BenchReport {
     let mut st = FtState::new(class);
     let out = match style {
-        Style::Opt => st.run::<false>(team),
-        Style::Safe => st.run::<true>(team),
+        Style::Opt => st.run_guarded::<false>(team, gcfg),
+        Style::Safe => st.run_guarded::<true>(team, gcfg),
     };
     let p = *st.params();
     BenchReport {
@@ -345,6 +388,9 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         threads: team.map_or(0, Team::size),
         style,
         verified: verify(class, &out.sums),
+        recoveries: out.guard.recoveries,
+        checkpoint_count: out.guard.checkpoint_count,
+        checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
     }
 }
 

@@ -117,6 +117,11 @@ pub struct CellOutcome {
     pub mops: Option<f64>,
     /// Timed-section seconds of the verifying run, if any.
     pub time_secs: Option<f64>,
+    /// SDC rollbacks the verifying child reported (`--sdc-guard`): a
+    /// nonzero count marks a cell that verified *because* the
+    /// in-computation guard healed it — the `recovered` dimension of
+    /// the taxonomy.
+    pub recoveries: u64,
 }
 
 /// Append-only journal writer.
@@ -187,12 +192,13 @@ impl Manifest {
         }
         self.line(format!(
             "{{\"event\":\"cell\",{},\"outcome\":\"{}\",\"attempts\":{},\"kills\":{},\
-             \"final_threads\":{}{extra}}}",
+             \"final_threads\":{},\"recoveries\":{}{extra}}}",
             out.cell.json_fields(),
             out.status.tag(),
             out.attempts,
             out.kills,
-            out.final_threads
+            out.final_threads,
+            out.recoveries
         ))
     }
 }
@@ -253,6 +259,8 @@ pub fn read_manifest(path: &Path) -> std::io::Result<ResumeState> {
             final_threads: v.get_uint("final_threads").unwrap_or(0) as usize,
             mops: v.get_num("mops"),
             time_secs: v.get_num("time_secs"),
+            // Absent in pre-guard manifests; absent is 0.
+            recoveries: v.get_uint("recoveries").unwrap_or(0),
         });
     }
     Ok(state)
@@ -287,7 +295,21 @@ mod tests {
             final_threads: 4,
             mops: Some(123.5),
             time_secs: Some(0.25),
+            recoveries: 0,
         }
+    }
+
+    #[test]
+    fn recoveries_roundtrip_through_the_journal() {
+        let path = tmp("recoveries");
+        let mut m = Manifest::create(&path).unwrap();
+        let mut healed = outcome("CG", CellStatus::Verified);
+        healed.recoveries = 2;
+        m.cell(&healed).unwrap();
+        drop(m);
+        let state = read_manifest(&path).unwrap();
+        assert_eq!(state.outcomes[0].recoveries, 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

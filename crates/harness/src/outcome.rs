@@ -113,6 +113,9 @@ pub struct ChildReport {
     pub time_secs: f64,
     /// The child's *own* attempt count (its in-process `--retries` loop).
     pub attempts: u64,
+    /// SDC detections the child's in-computation guard answered with a
+    /// checkpoint rollback (`--sdc-guard`); 0 when the guard was off.
+    pub recoveries: u64,
 }
 
 impl ChildReport {
@@ -127,6 +130,8 @@ impl ChildReport {
             mops: v.get_num("mops")?,
             time_secs: v.get_num("time_secs")?,
             attempts: v.get_uint("attempts")?,
+            // Absent in records from pre-guard drivers; absent is 0.
+            recoveries: v.get_uint("recoveries").unwrap_or(0),
         })
     }
 
@@ -195,6 +200,7 @@ mod tests {
             mops: 1.0,
             time_secs: 0.1,
             attempts: 1,
+            recoveries: 0,
         }
     }
 
@@ -248,13 +254,21 @@ mod tests {
 
     #[test]
     fn child_report_parses_the_driver_record() {
-        let line = r#"{"name":"CG","class":"S","style":"opt","threads":4,"size":[1400,0,0],"niter":15,"time_secs":0.123,"mops":456.7,"verified":"success","attempts":2}"#;
+        let line = r#"{"name":"CG","class":"S","style":"opt","threads":4,"size":[1400,0,0],"niter":15,"time_secs":0.123,"mops":456.7,"verified":"success","attempts":2,"recoveries":1,"checkpoint_count":8,"checkpoint_overhead_s":0.001}"#;
         let stdout = format!("\n\n CG Benchmark Completed.\n...\n{line}\n");
         let r = ChildReport::last_in(&stdout).expect("record found");
         assert_eq!(r.name, "CG");
         assert_eq!(r.threads, 4);
         assert_eq!(r.attempts, 2);
         assert_eq!(r.verified, "success");
+        assert_eq!(r.recoveries, 1);
+    }
+
+    #[test]
+    fn child_report_tolerates_records_without_recovery_fields() {
+        let line = r#"{"name":"CG","class":"S","style":"opt","threads":4,"size":[1400,0,0],"niter":15,"time_secs":0.123,"mops":456.7,"verified":"success","attempts":2}"#;
+        let r = ChildReport::last_in(line).expect("pre-guard record still parses");
+        assert_eq!(r.recoveries, 0);
     }
 
     #[test]

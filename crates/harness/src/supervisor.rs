@@ -51,6 +51,11 @@ pub struct SuiteConfig {
     /// Optional in-process watchdog (`npb --timeout`) forwarded to
     /// children, exercising the exit-3 leg of the taxonomy.
     pub child_timeout_ms: Option<u64>,
+    /// Forward `--sdc-guard` to every child, arming the in-computation
+    /// detection/rollback layer inside each benchmark's outer loop.
+    pub sdc_guard: bool,
+    /// Forward `--checkpoint-every K` to every child.
+    pub checkpoint_every: Option<usize>,
     /// Base of the exponential backoff (0 disables sleeping).
     pub backoff_base_ms: u64,
     /// Sweep seed for the deterministic backoff jitter.
@@ -110,11 +115,20 @@ pub fn run_sweep(
         let outcome = run_cell(cfg, cell, i as u64, manifest.as_deref_mut())?;
         let detail = match (&outcome.status, outcome.mops) {
             (CellStatus::Verified, Some(m)) => format!(
-                "verified ({} attempt{}, {} kill{}, {:.2} Mop/s at {})",
+                "verified ({} attempt{}, {} kill{}{}, {:.2} Mop/s at {})",
                 outcome.attempts,
                 if outcome.attempts == 1 { "" } else { "s" },
                 outcome.kills,
                 if outcome.kills == 1 { "" } else { "s" },
+                if outcome.recoveries > 0 {
+                    format!(
+                        ", {} sdc recover{}",
+                        outcome.recoveries,
+                        if outcome.recoveries == 1 { "y" } else { "ies" }
+                    )
+                } else {
+                    String::new()
+                },
                 m,
                 width_label(outcome.final_threads),
             ),
@@ -193,6 +207,7 @@ fn run_cell(
                             final_threads: rung,
                             mops: Some(report.mops),
                             time_secs: Some(report.time_secs),
+                            recoveries: report.recoveries,
                         },
                     );
                 }
@@ -207,6 +222,7 @@ fn run_cell(
                             final_threads: rung,
                             mops: None,
                             time_secs: None,
+                            recoveries: 0,
                         },
                     );
                 }
@@ -229,6 +245,7 @@ fn run_cell(
                             final_threads: rung,
                             mops: None,
                             time_secs: None,
+                            recoveries: 0,
                         },
                     );
                 }
@@ -255,6 +272,7 @@ fn run_cell(
             final_threads: 0,
             mops: None,
             time_secs: None,
+            recoveries: 0,
         },
     )
 }
@@ -334,6 +352,12 @@ fn run_child(
     if let Some(ms) = cfg.child_timeout_ms {
         cmd.arg("--timeout").arg(ms.to_string());
     }
+    if cfg.sdc_guard {
+        cmd.arg("--sdc-guard");
+    }
+    if let Some(k) = cfg.checkpoint_every {
+        cmd.arg("--checkpoint-every").arg(k.to_string());
+    }
 
     let started = Instant::now();
     let mut child = match cmd.spawn() {
@@ -403,6 +427,8 @@ mod tests {
             retries: 0,
             inject: None,
             child_timeout_ms: None,
+            sdc_guard: false,
+            checkpoint_every: None,
             backoff_base_ms: 0,
             seed: 1,
         }

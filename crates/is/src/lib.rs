@@ -226,6 +226,9 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         threads: team.map_or(0, Team::size),
         style,
         verified,
+        recoveries: 0,
+        checkpoint_count: 0,
+        checkpoint_overhead_s: 0.0,
     }
 }
 

@@ -22,8 +22,10 @@ pub use params::{reference, LuParams, LuRefs, OMEGA};
 pub use rhs::LuFields;
 
 use npb_cfd_common::Consts;
-use npb_core::{BenchReport, Class, Style, Verified};
-use npb_runtime::{run_par, SharedMut, Team};
+use npb_core::{
+    BenchReport, Class, GuardAction, GuardConfig, GuardStats, SdcGuard, Style, Verified,
+};
+use npb_runtime::{escalate_corruption, run_par, SharedMut, Team};
 
 /// LU benchmark instance.
 pub struct LuState {
@@ -46,6 +48,8 @@ pub struct LuOutcome {
     pub xci: f64,
     /// Seconds in the timed section.
     pub secs: f64,
+    /// What the SDC guard did (recoveries, checkpoints, overhead).
+    pub guard: GuardStats,
 }
 
 impl LuState {
@@ -112,6 +116,18 @@ impl LuState {
     /// Full benchmark: one untimed warm-up iteration, re-init, `niter`
     /// timed SSOR iterations, verification quantities.
     pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> LuOutcome {
+        self.run_guarded::<SAFE>(team, &GuardConfig::default())
+    }
+
+    /// [`LuState::run`] under the in-computation SDC guard. An SSOR
+    /// iteration consumes both the solution `u` and the residual `rsd`
+    /// left by the previous step (`frct` is constant after `reset`), so
+    /// the guard watches and restores that pair.
+    pub fn run_guarded<const SAFE: bool>(
+        &mut self,
+        team: Option<&Team>,
+        gcfg: &GuardConfig,
+    ) -> LuOutcome {
         self.reset(team);
         rhs::rhs::<SAFE>(&mut self.fields, &self.consts, team);
         self.ssor_step::<SAFE>(team);
@@ -119,15 +135,30 @@ impl LuState {
         self.reset(team);
         rhs::rhs::<SAFE>(&mut self.fields, &self.consts, team);
         let t0 = std::time::Instant::now();
-        for _step in 0..self.p.niter {
+        let mut guard = SdcGuard::new(gcfg, self.p.niter);
+        guard.init(&[&self.fields.u[..], &self.fields.rsd[..]]);
+        let mut it = 0;
+        while it < self.p.niter {
+            match guard.begin(it, &mut [&mut self.fields.u[..], &mut self.fields.rsd[..]]) {
+                GuardAction::Continue => {}
+                GuardAction::Rollback { resume } => {
+                    it = resume;
+                    continue;
+                }
+                GuardAction::Escalate { iteration, detections } => {
+                    escalate_corruption(iteration, detections)
+                }
+            }
             self.ssor_step::<SAFE>(team);
+            guard.end(it, &[&self.fields.u[..], &self.fields.rsd[..]], None);
+            it += 1;
         }
         let xcr = l2norm(self.p.n, &self.fields.rsd);
         let secs = t0.elapsed().as_secs_f64();
 
         let xce = error(&self.fields, &self.consts);
         let xci = pintgr(&self.fields, &self.consts);
-        LuOutcome { xcr, xce, xci, secs }
+        LuOutcome { xcr, xce, xci, secs, guard: guard.stats() }
     }
 }
 
@@ -155,10 +186,21 @@ pub fn verify(class: Class, out: &LuOutcome) -> Verified {
 
 /// Run the LU benchmark and produce the standard report.
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    run_with_guard(class, style, team, &GuardConfig::default())
+}
+
+/// [`run`] with an explicit SDC-guard configuration (the `npb` driver's
+/// `--sdc-guard` / `--checkpoint-every` path).
+pub fn run_with_guard(
+    class: Class,
+    style: Style,
+    team: Option<&Team>,
+    gcfg: &GuardConfig,
+) -> BenchReport {
     let mut st = LuState::new(class);
     let out = match style {
-        Style::Opt => st.run::<false>(team),
-        Style::Safe => st.run::<true>(team),
+        Style::Opt => st.run_guarded::<false>(team, gcfg),
+        Style::Safe => st.run_guarded::<true>(team, gcfg),
     };
     BenchReport {
         name: "LU",
@@ -170,6 +212,9 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         threads: team.map_or(0, Team::size),
         style,
         verified: verify(class, &out),
+        recoveries: out.guard.recoveries,
+        checkpoint_count: out.guard.checkpoint_count,
+        checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
     }
 }
 

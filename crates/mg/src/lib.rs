@@ -18,8 +18,10 @@ mod zran3;
 pub use params::MgParams;
 pub use zran3::zran3;
 
-use npb_core::{BenchReport, Class, Style, Verified};
-use npb_runtime::{SharedMut, Team};
+use npb_core::{
+    BenchReport, Class, GuardAction, GuardConfig, GuardStats, SdcGuard, Style, Verified,
+};
+use npb_runtime::{escalate_corruption, SharedMut, Team};
 use ops::{interp, norm2u3, psinv, resid, rprj3, zero3};
 
 /// MG benchmark state: the grid hierarchy.
@@ -47,6 +49,8 @@ pub struct MgOutcome {
     pub rnmu: f64,
     /// Seconds in the timed section.
     pub secs: f64,
+    /// What the SDC guard did (recoveries, checkpoints, overhead).
+    pub guard: GuardStats,
 }
 
 impl MgState {
@@ -164,6 +168,20 @@ impl MgState {
     /// Full benchmark: one untimed warm-up cycle, reset, then the timed
     /// `resid + nit × (mg3P + resid) + norm` section of `mg.f`.
     pub fn run<const SAFE: bool>(&mut self, team: Option<&Team>) -> MgOutcome {
+        self.run_guarded::<SAFE>(team, &GuardConfig::default())
+    }
+
+    /// [`MgState::run`] under the in-computation SDC guard. The state a
+    /// V-cycle carries into the next iteration is exactly the finest
+    /// `u` and `r` grids: every coarse level is rebuilt from them (the
+    /// downward restriction rewrites `r[lev<finest]`, `zero3`+`interp`
+    /// rewrite `u[lev<finest]`) and `v` is constant after `reset` — so
+    /// the finest pair is what the guard watches and restores.
+    pub fn run_guarded<const SAFE: bool>(
+        &mut self,
+        team: Option<&Team>,
+        gcfg: &GuardConfig,
+    ) -> MgOutcome {
         self.reset();
         self.resid_finest::<SAFE>(team);
         self.mg3p::<SAFE>(team);
@@ -172,13 +190,29 @@ impl MgState {
         self.reset();
         let t0 = std::time::Instant::now();
         self.resid_finest::<SAFE>(team);
-        for _it in 0..self.p.nit {
+        let fin = self.lt - 1;
+        let mut guard = SdcGuard::new(gcfg, self.p.nit);
+        guard.init(&[&self.u[fin][..], &self.r[fin][..]]);
+        let mut it = 0;
+        while it < self.p.nit {
+            match guard.begin(it, &mut [&mut self.u[fin][..], &mut self.r[fin][..]]) {
+                GuardAction::Continue => {}
+                GuardAction::Rollback { resume } => {
+                    it = resume;
+                    continue;
+                }
+                GuardAction::Escalate { iteration, detections } => {
+                    escalate_corruption(iteration, detections)
+                }
+            }
             self.mg3p::<SAFE>(team);
             self.resid_finest::<SAFE>(team);
+            guard.end(it, &[&self.u[fin][..], &self.r[fin][..]], None);
+            it += 1;
         }
         let (rnm2, rnmu) = self.residual_norms::<SAFE>(team);
         let secs = t0.elapsed().as_secs_f64();
-        MgOutcome { rnm2, rnmu, secs }
+        MgOutcome { rnm2, rnmu, secs, guard: guard.stats() }
     }
 }
 
@@ -199,10 +233,21 @@ pub fn verify(class: Class, rnm2: f64) -> Verified {
 /// Run the MG benchmark and produce the standard report (NPB's 58 flops
 /// per point per cycle accounting).
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
+    run_with_guard(class, style, team, &GuardConfig::default())
+}
+
+/// [`run`] with an explicit SDC-guard configuration (the `npb` driver's
+/// `--sdc-guard` / `--checkpoint-every` path).
+pub fn run_with_guard(
+    class: Class,
+    style: Style,
+    team: Option<&Team>,
+    gcfg: &GuardConfig,
+) -> BenchReport {
     let mut st = MgState::new(class);
     let out = match style {
-        Style::Opt => st.run::<false>(team),
-        Style::Safe => st.run::<true>(team),
+        Style::Opt => st.run_guarded::<false>(team, gcfg),
+        Style::Safe => st.run_guarded::<true>(team, gcfg),
     };
     let p = *st.params();
     let nn = (p.nx * p.nx * p.nx) as f64;
@@ -216,6 +261,9 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         threads: team.map_or(0, Team::size),
         style,
         verified: verify(class, out.rnm2),
+        recoveries: out.guard.recoveries,
+        checkpoint_count: out.guard.checkpoint_count,
+        checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
     }
 }
 

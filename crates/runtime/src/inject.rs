@@ -14,11 +14,18 @@
 //!   exercising the watchdog (which terminates the process, naming the
 //!   stuck ranks);
 //! * **nan** — the next verification comparison sees a NaN computed
-//!   value, exercising the `Verified::Failure` → nonzero-exit path.
+//!   value, exercising the `Verified::Failure` → nonzero-exit path;
+//! * **bitflip** — a randlc-chosen bit of a randlc-chosen state-array
+//!   element is flipped at a randlc-chosen outer iteration of the next
+//!   guarded benchmark run, exercising the in-computation SDC guard's
+//!   detect → rollback → replay path (`npb_core::guard`). Without
+//!   `--sdc-guard` the same flip silently corrupts the run, which is the
+//!   control experiment proving the guard is load-bearing.
 //!
 //! Faults are one-shot: arming fires the fault at most once, so a driver
 //! retry (`--retries`) of the same benchmark runs clean.
 
+use npb_core::guard::ArmedBitFlip;
 use npb_core::random::randlc;
 
 use crate::team::Team;
@@ -34,6 +41,9 @@ pub enum FaultKind {
     Hang,
     /// Corrupt the next verified quantity to NaN.
     Nan,
+    /// Flip one bit of one state-array element at one outer iteration
+    /// of the next guarded benchmark run (silent data corruption).
+    BitFlip,
 }
 
 /// A seeded, deterministic, one-shot fault to inject.
@@ -60,7 +70,10 @@ impl FaultPlan {
         FaultPlan { kind, seed, state }
     }
 
-    /// Parse a driver spec: `panic`, `delay`, `hang` or `nan`, optionally
+    /// Every parseable fault kind, for usage and error messages.
+    pub const KINDS: &'static str = "panic|delay|hang|nan|bitflip";
+
+    /// Parse a driver spec: one of [`FaultPlan::KINDS`], optionally
     /// followed by `:<seed>` (default seed 1).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let (kind, seed) = match spec.split_once(':') {
@@ -77,8 +90,9 @@ impl FaultPlan {
             "delay" => FaultKind::Delay,
             "hang" => FaultKind::Hang,
             "nan" => FaultKind::Nan,
+            "bitflip" => FaultKind::BitFlip,
             other => {
-                return Err(format!("unknown fault kind {other:?} (expected panic|delay|hang|nan)"))
+                return Err(format!("unknown fault kind {other:?} (expected {})", FaultPlan::KINDS))
             }
         };
         Ok(FaultPlan::new(kind, seed))
@@ -105,10 +119,10 @@ impl FaultPlan {
     }
 
     /// Arm the fault. Panic, delay and hang faults arm on `team` (they
-    /// need a worker to victimize); the NaN fault arms the calling
-    /// thread's verification corruption hook in `npb-core` (kernels
-    /// verify on the thread that drives the benchmark, so arm from that
-    /// same thread).
+    /// need a worker to victimize); the NaN and bit-flip faults arm the
+    /// calling thread's corruption hooks in `npb-core` (kernels verify
+    /// and drive their outer loops on the thread that drives the
+    /// benchmark, so arm from that same thread — both work serially).
     ///
     /// Errors if the fault needs a team and none was given (serial runs
     /// have no worker to kill).
@@ -116,6 +130,17 @@ impl FaultPlan {
         match self.kind {
             FaultKind::Nan => {
                 npb_core::arm_nan_corruption();
+                Ok(())
+            }
+            FaultKind::BitFlip => {
+                // Deviates 0 and 1 are reserved by victim()/delay_ms();
+                // the flip's coordinates draw the next three, so one seed
+                // spec reproduces the exact same corruption everywhere.
+                npb_core::arm_bitflip(ArmedBitFlip {
+                    iter_frac: self.draw(2),
+                    elem_frac: self.draw(3),
+                    bit_frac: self.draw(4),
+                });
                 Ok(())
             }
             FaultKind::Panic | FaultKind::Delay | FaultKind::Hang => match team {
@@ -142,8 +167,31 @@ mod tests {
         assert_eq!(FaultPlan::parse("delay").unwrap().seed, 1);
         assert_eq!(FaultPlan::parse("hang:2").unwrap().kind, FaultKind::Hang);
         assert_eq!(FaultPlan::parse("nan:3").unwrap().seed, 3);
+        assert_eq!(FaultPlan::parse("bitflip:42").unwrap().kind, FaultKind::BitFlip);
         assert!(FaultPlan::parse("explode").is_err());
         assert!(FaultPlan::parse("panic:x").is_err());
+    }
+
+    #[test]
+    fn parse_error_lists_every_valid_kind() {
+        let err = FaultPlan::parse("explode").unwrap_err();
+        assert!(err.contains("\"explode\""), "error names the bad kind: {err}");
+        for kind in ["panic", "delay", "hang", "nan", "bitflip"] {
+            assert!(err.contains(kind), "error must list {kind}: {err}");
+        }
+    }
+
+    #[test]
+    fn bitflip_arms_the_core_hook_serially() {
+        assert!(!npb_core::bitflip_armed());
+        let plan = FaultPlan::new(FaultKind::BitFlip, 42);
+        plan.arm(None).expect("bitflip needs no worker threads");
+        assert!(npb_core::bitflip_armed());
+        // Claim it so this test leaves no armed fault behind for
+        // parallel tests on this thread.
+        let guard = npb_core::SdcGuard::new(&npb_core::GuardConfig::default(), 4);
+        assert!(!npb_core::bitflip_armed());
+        drop(guard);
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub use partials::Partials;
 pub use partition::partition;
 pub use shared::SharedMut;
 pub use team::{
-    run_par, BarrierPoisoned, FailurePolicy, InjectedFault, Par, RegionError, Team,
-    WATCHDOG_EXIT_CODE,
+    escalate_corruption, run_par, BarrierPoisoned, FailurePolicy, InjectedFault, Par, RegionError,
+    Team, WATCHDOG_EXIT_CODE,
 };

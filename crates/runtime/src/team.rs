@@ -39,6 +39,26 @@ pub enum RegionError {
     /// from inside one of this team's own region bodies, or the job slot
     /// was left corrupt by an earlier failure.
     Poisoned,
+    /// The in-computation SDC guard (`npb_core::guard`) detected data
+    /// corruption it could not recover from: either the detection
+    /// recurred at the same iteration `detections` times, or no intact
+    /// checkpoint remained to roll back to. Produced via
+    /// [`escalate_corruption`]; the in-process retry and supervisor
+    /// layers handle it like any other region failure.
+    Corruption {
+        /// Outer iteration the guard could not get past.
+        iteration: usize,
+        /// Detections at that iteration before the guard gave up.
+        detections: usize,
+    },
+}
+
+/// Escalate an unrecoverable SDC detection out of a benchmark's outer
+/// loop: panics with a [`RegionError::Corruption`] payload, which the
+/// driver's `catch_unwind` converts into the same structured error path
+/// that worker panics take (retry budget, then the supervisor).
+pub fn escalate_corruption(iteration: usize, detections: usize) -> ! {
+    std::panic::panic_any(RegionError::Corruption { iteration, detections })
 }
 
 impl std::fmt::Display for RegionError {
@@ -56,6 +76,13 @@ impl std::fmt::Display for RegionError {
             }
             RegionError::Poisoned => {
                 write!(f, "team dispatch state poisoned (exec re-entered from inside a region)")
+            }
+            RegionError::Corruption { iteration, detections } => {
+                write!(
+                    f,
+                    "unrecovered data corruption at iteration {iteration} \
+                     ({detections} repeated detection(s); checkpoint rollback exhausted)"
+                )
             }
         }
     }
@@ -438,7 +465,8 @@ impl Team {
             crate::FaultKind::Panic => FAULT_PANIC,
             crate::FaultKind::Delay => FAULT_DELAY,
             crate::FaultKind::Hang => FAULT_HANG,
-            crate::FaultKind::Nan => return,
+            // Armed through npb-core's thread-local hooks, not a worker.
+            crate::FaultKind::Nan | crate::FaultKind::BitFlip => return,
         };
         inner.fault_delay_ms.store(plan.delay_ms(), Ordering::Relaxed);
         // Kind and victim publish as one Release-stored word, so a

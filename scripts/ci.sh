@@ -30,6 +30,17 @@ cargo run --release --bin npb-suite -- ep --class S --threads 2 \
 grep -q '"outcome":"deadline-killed"' "$manifest"
 grep -q '"event":"cell".*"outcome":"verified"' "$manifest"
 
+echo "== sdc smoke (in-computation guard) =="
+# An exponent bit flip lands in the adversarial tail of CG's outer
+# loop; the SDC guard must detect it against the rolling checksum,
+# roll back to the last checkpoint, replay, verify (exit 0), and
+# report the recovery in the JSON record.
+sdc_out="$(cargo run --release --bin npb -- \
+    cg S --sdc-guard --checkpoint-every=2 --inject bitflip:42 --json)"
+echo "$sdc_out" | grep -q '"verified":"success"'
+recoveries="$(echo "$sdc_out" | grep -o '"recoveries":[0-9]*' | cut -d: -f2)"
+test "${recoveries:-0}" -ge 1
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -3,7 +3,9 @@
 //! ```text
 //! npb-suite <BENCH[,BENCH...]|all>
 //!           [--class S[,W,...]] [--style opt[,safe]] [--threads N[,M,...]]
-//!           [--deadline-ms MS] [--retries N] [--inject panic|delay|hang|nan[:SEED]]
+//!           [--deadline-ms MS] [--retries N]
+//!           [--inject panic|delay|hang|nan|bitflip[:SEED]]
+//!           [--sdc-guard] [--checkpoint-every K]
 //!           [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]
 //!           [--manifest PATH] [--resume PATH] [--npb-bin PATH]
 //! ```
@@ -27,6 +29,11 @@
 //!   already completed, so a killed sweep continues where it died;
 //! * `--inject` forwards a one-shot fault spec to the *first* attempt
 //!   of every cell (chaos testing; retries run clean);
+//! * `--sdc-guard` / `--checkpoint-every K` forward the in-computation
+//!   SDC guard to every child; a cell that verified only because the
+//!   guard rolled back is reported as *recovered* (the third level of
+//!   the fault-tolerance stack, below the in-process watchdog and this
+//!   supervisor);
 //! * `--child-timeout-ms` forwards `--timeout` to children, arming
 //!   their in-process watchdog (exit 3) under the supervisor's deadline.
 //!
@@ -47,10 +54,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: npb-suite <{}|all>\n\
          \x20         [--class S[,W,...]] [--style opt[,safe]] [--threads N[,M,...]]\n\
-         \x20         [--deadline-ms MS] [--retries N] [--inject panic|delay|hang|nan[:SEED]]\n\
+         \x20         [--deadline-ms MS] [--retries N] [--inject {}[:SEED]]\n\
+         \x20         [--sdc-guard] [--checkpoint-every K]\n\
          \x20         [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]\n\
          \x20         [--manifest PATH] [--resume PATH] [--npb-bin PATH]",
-        BENCHMARKS.join("|")
+        BENCHMARKS.join("|"),
+        FaultPlan::KINDS
     );
     std::process::exit(2);
 }
@@ -111,11 +120,24 @@ fn main() {
     let mut backoff_ms = 100u64;
     let mut seed = 1u64;
     let mut child_timeout_ms: Option<u64> = None;
+    let mut sdc_guard = false;
+    let mut checkpoint_every: Option<usize> = None;
     let mut manifest_path: Option<PathBuf> = None;
     let mut resume_path: Option<PathBuf> = None;
     let mut npb_bin: Option<PathBuf> = None;
 
-    let mut it = args[1..].iter();
+    // Accept `--flag=value` as well as `--flag value`, like `npb`.
+    let mut expanded: Vec<String> = Vec::new();
+    for a in &args[1..] {
+        match a.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => {
+                expanded.push(f.to_string());
+                expanded.push(v.to_string());
+            }
+            _ => expanded.push(a.clone()),
+        }
+    }
+    let mut it = expanded.iter();
     while let Some(flag) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| -> String {
             it.next().cloned().unwrap_or_else(|| usage())
@@ -158,6 +180,15 @@ fn main() {
             "--child-timeout-ms" => {
                 child_timeout_ms = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
             }
+            "--sdc-guard" => sdc_guard = true,
+            "--checkpoint-every" => {
+                match npb::parse_checkpoint_every(&val(&mut it)) {
+                    Ok(k) => checkpoint_every = Some(k),
+                    // Same warn-don't-die contract as the npb driver: a
+                    // bad cadence falls back to the child's default.
+                    Err(msg) => eprintln!("npb-suite: {msg}"),
+                }
+            }
             "--manifest" => manifest_path = Some(PathBuf::from(val(&mut it))),
             "--resume" => resume_path = Some(PathBuf::from(val(&mut it))),
             "--npb-bin" => npb_bin = Some(PathBuf::from(val(&mut it))),
@@ -172,7 +203,9 @@ fn main() {
             eprintln!("npb-suite: {e}");
             usage()
         });
-        if plan.kind != FaultKind::Nan && threads.contains(&0) {
+        // NaN and bit-flip faults corrupt data on the driving thread, so
+        // they work at any width, including serial.
+        if !matches!(plan.kind, FaultKind::Nan | FaultKind::BitFlip) && threads.contains(&0) {
             fail(&format!(
                 "--inject {spec}: worker faults need worker threads, but the sweep \
                  includes a serial (--threads 0) width"
@@ -231,6 +264,8 @@ fn main() {
         retries,
         inject,
         child_timeout_ms,
+        sdc_guard,
+        checkpoint_every,
         backoff_base_ms: backoff_ms,
         seed,
     };
@@ -248,19 +283,26 @@ fn main() {
 
     // Summary: every cell accounted for, quarantines named explicitly.
     let mut verified = 0usize;
+    let mut recovered = 0usize;
     let mut failed = 0usize;
     let mut quarantined = 0usize;
     for o in &result.outcomes {
         match o.status {
-            CellStatus::Verified => verified += 1,
+            CellStatus::Verified => {
+                verified += 1;
+                if o.recoveries > 0 {
+                    recovered += 1;
+                }
+            }
             CellStatus::Quarantined => quarantined += 1,
             CellStatus::Failed(_) => failed += 1,
         }
     }
     println!(
-        "\nnpb-suite: {} cell(s): {verified} verified, {failed} failed, \
+        "\nnpb-suite: {} cell(s): {verified} verified{}, {failed} failed, \
          {quarantined} quarantined{}",
         result.outcomes.len(),
+        if recovered > 0 { format!(" ({recovered} via sdc recovery)") } else { String::new() },
         if result.skipped > 0 {
             format!(" ({} skipped via resume)", result.skipped)
         } else {

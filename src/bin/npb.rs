@@ -1,12 +1,14 @@
 //! Command-line runner for the NPB suite.
 //!
 //! ```text
-//! npb <BENCH|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]
-//!                 [--timeout MS] [--inject panic|delay|hang|nan[:SEED]] [--retries N]
-//!                 [--json]
+//! npb <BENCH|all> [CLASS] [--class S|W|A|B|C] [--style opt|safe] [--threads N]
+//!                 [--timeout MS] [--inject panic|delay|hang|nan|bitflip[:SEED]]
+//!                 [--retries N] [--sdc-guard] [--checkpoint-every K] [--json]
 //! ```
 //!
-//! `--threads 0` (default) is the pure serial path.
+//! `--threads 0` (default) is the pure serial path. The class can be
+//! given positionally (`npb cg S`) or via `--class`; every value flag
+//! also accepts the `--flag=value` spelling.
 //!
 //! Fault tolerance:
 //!
@@ -17,10 +19,19 @@
 //!   fast, diagnosable death; `NPB_REGION_TIMEOUT_MS` sets the same
 //!   default from the environment).
 //! * `--inject KIND[:SEED]` arms one deterministic fault (worker panic,
-//!   barrier delay, a rank wedged forever, or NaN corruption of a
-//!   verified quantity) before the first attempt of each benchmark.
+//!   barrier delay, a rank wedged forever, NaN corruption of a verified
+//!   quantity, or a bit flip in a state array mid-computation) before
+//!   the first attempt of each benchmark.
 //! * `--retries N` reruns a benchmark whose parallel region failed, up to
 //!   N times (injected faults are one-shot, so a retry runs clean).
+//! * `--sdc-guard` turns on the in-computation SDC guard for the
+//!   iterative benchmarks (BT, SP, LU, FT, CG, MG): per-iteration
+//!   invariant checks plus periodic in-memory checkpoints; a detected
+//!   corruption rolls the solver back and replays instead of letting a
+//!   silently wrong answer reach verification.
+//! * `--checkpoint-every K` sets the checkpoint cadence in outer
+//!   iterations (default 4). A malformed value warns once on stderr and
+//!   keeps the default, mirroring `NPB_REGION_TIMEOUT_MS`.
 //! * `--json` additionally emits one machine-readable JSON object per
 //!   benchmark on stdout (name, class, style, threads, verification,
 //!   Mop/s, time, attempt count) — the structured channel the
@@ -32,14 +43,18 @@
 
 use std::time::Duration;
 
-use npb::{try_run_benchmark, Class, FaultPlan, RunError, RunOptions, Style, BENCHMARKS};
+use npb::{
+    parse_checkpoint_every, try_run_benchmark, Class, FaultPlan, GuardConfig, RunError, RunOptions,
+    Style, BENCHMARKS,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: npb <{}|all> [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
-         \x20          [--timeout MS] [--inject panic|delay|hang|nan[:SEED]] [--retries N]\n\
-         \x20          [--json]",
-        BENCHMARKS.join("|")
+        "usage: npb <{}|all> [CLASS] [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
+         \x20          [--timeout MS] [--inject {}[:SEED]] [--retries N]\n\
+         \x20          [--sdc-guard] [--checkpoint-every K] [--json]",
+        BENCHMARKS.join("|"),
+        FaultPlan::KINDS
     );
     std::process::exit(2);
 }
@@ -72,9 +87,21 @@ fn main() {
     let mut timeout: Option<Duration> = None;
     let mut inject: Option<FaultPlan> = None;
     let mut retries = 0usize;
+    let mut guard = GuardConfig::default();
     let mut json = false;
 
-    let mut it = args[1..].iter();
+    // Accept `--flag=value` as well as `--flag value`.
+    let mut expanded: Vec<String> = Vec::new();
+    for a in &args[1..] {
+        match a.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => {
+                expanded.push(f.to_string());
+                expanded.push(v.to_string());
+            }
+            _ => expanded.push(a.clone()),
+        }
+    }
+    let mut it = expanded.iter();
     while let Some(flag) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| -> String {
             it.next().cloned().unwrap_or_else(|| usage())
@@ -104,7 +131,25 @@ fn main() {
                 }));
             }
             "--retries" => retries = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--sdc-guard" => guard.enabled = true,
+            "--checkpoint-every" => match parse_checkpoint_every(&val(&mut it)) {
+                Ok(k) => guard.checkpoint_every = k,
+                Err(msg) => {
+                    // Same warn-once contract as NPB_REGION_TIMEOUT_MS:
+                    // a bad cadence must not kill a long batch run.
+                    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                    WARN_ONCE.call_once(|| eprintln!("npb: {msg}"));
+                }
+            },
             "--json" => json = true,
+            // A bare non-flag argument is a positional problem class
+            // (`npb cg S` reads as BENCH CLASS).
+            other if !other.starts_with('-') => {
+                class = other.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             _ => usage(),
         }
     }
@@ -118,7 +163,8 @@ fn main() {
         loop {
             // The injected fault is armed only on the first attempt: it
             // is one-shot by design, so a retry must run clean.
-            let opts = RunOptions { timeout, inject: inject.as_ref().filter(|_| attempt == 0) };
+            let opts =
+                RunOptions { timeout, inject: inject.as_ref().filter(|_| attempt == 0), guard };
             match try_run_benchmark(name, class, style, threads, &opts) {
                 Ok(report) => {
                     println!("{}", report.banner());

@@ -22,7 +22,8 @@
 //! column of the paper's tables); `threads >= 1` spawns that many
 //! persistent workers.
 
-pub use npb_core::{BenchReport, Class, Style, Verified};
+pub use npb_core::guard::parse_checkpoint_every;
+pub use npb_core::{BenchReport, Class, GuardConfig, GuardStats, Style, Verified};
 pub use npb_runtime::{
     BarrierPoisoned, FailurePolicy, FaultKind, FaultPlan, InjectedFault, Par, Partials,
     RegionError, SharedMut, Team, WATCHDOG_EXIT_CODE,
@@ -82,6 +83,11 @@ pub struct RunOptions<'p> {
     pub timeout: Option<Duration>,
     /// A deterministic fault to arm before the run (one-shot).
     pub inject: Option<&'p FaultPlan>,
+    /// In-computation SDC guard configuration (`--sdc-guard`,
+    /// `--checkpoint-every`). Default: disabled. Only the iterative
+    /// benchmarks (BT, SP, LU, FT, CG, MG) have guarded outer loops; IS
+    /// and EP ignore it.
+    pub guard: GuardConfig,
 }
 
 /// Run one benchmark by name.
@@ -134,14 +140,15 @@ pub fn try_run_benchmark(
     // Kernels report region failure by panicking with a `RegionError`
     // payload (`Team::exec`); catch it here so the whole failure path —
     // from a dying worker thread to the caller — is structured.
+    let g = &opts.guard;
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match name.as_str() {
-        "BT" => npb_bt::run(class, style, t),
-        "SP" => npb_sp::run(class, style, t),
-        "LU" => npb_lu::run(class, style, t),
-        "FT" => npb_ft::run(class, style, t),
+        "BT" => npb_bt::run_with_guard(class, style, t, g),
+        "SP" => npb_sp::run_with_guard(class, style, t, g),
+        "LU" => npb_lu::run_with_guard(class, style, t, g),
+        "FT" => npb_ft::run_with_guard(class, style, t, g),
         "IS" => npb_is::run(class, style, t),
-        "CG" => npb_cg::run(class, style, t),
-        "MG" => npb_mg::run(class, style, t),
+        "CG" => npb_cg::run_with_guard(class, style, t, g),
+        "MG" => npb_mg::run_with_guard(class, style, t, g),
         "EP" => npb_ep::run(class, style, t),
         _ => unreachable!("validated against BENCHMARKS above"),
     }));

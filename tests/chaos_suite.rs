@@ -13,8 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use npb::{
-    try_run_benchmark, Class, FaultKind, FaultPlan, RegionError, RunError, RunOptions, Style, Team,
-    Verified,
+    try_run_benchmark, Class, FaultKind, FaultPlan, GuardConfig, RegionError, RunError, RunOptions,
+    Style, Team, Verified,
 };
 
 /// Run `f` on a helper thread; fail (instead of deadlocking the whole
@@ -99,7 +99,7 @@ fn barrier_panic_regression_does_not_deadlock_waiters() {
 #[test]
 fn nan_injection_turns_verification_into_failure() {
     let plan = FaultPlan::parse("nan:1").unwrap();
-    let opts = RunOptions { timeout: None, inject: Some(&plan) };
+    let opts = RunOptions { inject: Some(&plan), ..RunOptions::default() };
     let report = try_run_benchmark("EP", Class::S, Style::Opt, 0, &opts)
         .expect("NaN corruption does not fail the region, only verification");
     assert_eq!(report.verified, Verified::Failure);
@@ -108,7 +108,7 @@ fn nan_injection_turns_verification_into_failure() {
 #[test]
 fn worker_fault_on_serial_run_is_a_config_error() {
     let plan = FaultPlan::parse("panic:1").unwrap();
-    let opts = RunOptions { timeout: None, inject: Some(&plan) };
+    let opts = RunOptions { inject: Some(&plan), ..RunOptions::default() };
     match try_run_benchmark("EP", Class::S, Style::Opt, 0, &opts) {
         Err(RunError::Config(_)) => {}
         other => panic!("expected Config error, got {other:?}"),
@@ -119,7 +119,7 @@ fn worker_fault_on_serial_run_is_a_config_error() {
 fn injected_panic_fails_a_real_benchmark_then_retry_succeeds() {
     guarded(120, || {
         let plan = FaultPlan::parse("panic:3").unwrap();
-        let opts = RunOptions { timeout: None, inject: Some(&plan) };
+        let opts = RunOptions { inject: Some(&plan), ..RunOptions::default() };
         match try_run_benchmark("CG", Class::S, Style::Opt, 2, &opts) {
             Err(RunError::Region(RegionError::Panicked { tids })) => {
                 assert_eq!(tids, vec![plan.victim(2)])
@@ -130,6 +130,74 @@ fn injected_panic_fails_a_real_benchmark_then_retry_succeeds() {
         let clean = RunOptions::default();
         let report = try_run_benchmark("CG", Class::S, Style::Opt, 2, &clean).unwrap();
         assert!(report.verified.is_success());
+    });
+}
+
+// ---- in-computation SDC guard (bitflip -> detect -> rollback) --------
+
+/// Run `bench` with an armed exponent bit flip and the SDC guard on;
+/// the guard must detect the corruption, roll back to the last
+/// checkpoint, replay, and still verify.
+fn assert_bitflip_recovery(bench: &str, threads: usize) {
+    let plan = FaultPlan::parse("bitflip:42").unwrap();
+    let opts = RunOptions {
+        inject: Some(&plan),
+        guard: GuardConfig::enabled_every(2),
+        ..RunOptions::default()
+    };
+    let report = try_run_benchmark(bench, Class::S, Style::Opt, threads, &opts)
+        .expect("a bit flip never fails the region, only the numerics");
+    assert!(
+        report.verified.is_success(),
+        "{bench} t={threads}: guarded run must verify after rollback, got {:?}",
+        report.verified
+    );
+    assert!(
+        report.recoveries >= 1,
+        "{bench} t={threads}: the guard must have detected and rolled back at least once"
+    );
+    assert!(
+        report.checkpoint_count >= 1,
+        "{bench} t={threads}: recovery is impossible without checkpoints"
+    );
+}
+
+/// The no-guard control: the same flip corrupts the run and nothing
+/// detects it, so verification must fail (this is what makes the
+/// corruption *silent*).
+fn assert_bitflip_unguarded_fails(bench: &str, threads: usize) {
+    let plan = FaultPlan::parse("bitflip:42").unwrap();
+    let opts = RunOptions { inject: Some(&plan), ..RunOptions::default() };
+    let report = try_run_benchmark(bench, Class::S, Style::Opt, threads, &opts)
+        .expect("a bit flip never fails the region, only the numerics");
+    assert_eq!(report.verified, Verified::Failure, "{bench} t={threads}: unguarded control");
+    assert_eq!(report.recoveries, 0, "{bench} t={threads}: dormant guard must not roll back");
+}
+
+#[test]
+fn cg_bitflip_is_detected_rolled_back_and_verified() {
+    guarded(120, || {
+        assert_bitflip_recovery("CG", 0);
+        assert_bitflip_recovery("CG", 2);
+        assert_bitflip_unguarded_fails("CG", 0);
+    });
+}
+
+#[test]
+fn mg_bitflip_is_detected_rolled_back_and_verified() {
+    guarded(120, || {
+        assert_bitflip_recovery("MG", 0);
+        assert_bitflip_recovery("MG", 2);
+        assert_bitflip_unguarded_fails("MG", 0);
+    });
+}
+
+#[test]
+fn ft_bitflip_is_detected_rolled_back_and_verified() {
+    guarded(120, || {
+        assert_bitflip_recovery("FT", 0);
+        assert_bitflip_recovery("FT", 2);
+        assert_bitflip_unguarded_fails("FT", 0);
     });
 }
 

@@ -197,6 +197,47 @@ fn verification_failure_is_reported_not_quarantined() {
 }
 
 #[test]
+fn bitflip_cell_recovers_in_computation_and_is_journaled_as_verified() {
+    // The innermost layer of the fault-tolerance stack, seen from the
+    // outermost: the child's SDC guard detects the injected bit flip,
+    // rolls back, and verifies — so the supervisor sees a clean exit 0
+    // on the FIRST attempt. No retry, no degradation ladder, and the
+    // manifest records the recovery count in the `recovered` dimension.
+    let manifest = tmp_manifest("bitflip-recovery");
+    let out = suite(&[
+        "cg",
+        "--class",
+        "S",
+        "--threads",
+        "0",
+        "--inject",
+        "bitflip:42",
+        "--sdc-guard",
+        "--checkpoint-every",
+        "2",
+        "--retries",
+        "0",
+        "--backoff-ms",
+        "0",
+        "--manifest",
+        manifest.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("sdc recover"), "recovery surfaces in the cell line: {stdout}");
+    assert!(stdout.contains("1 via sdc recovery"), "and in the summary: {stdout}");
+
+    let state = read_manifest(&manifest).unwrap();
+    assert_eq!(state.outcomes.len(), 1);
+    assert_eq!(state.outcomes[0].status, CellStatus::Verified);
+    assert_eq!(state.outcomes[0].attempts, 1, "in-computation recovery needs no supervisor retry");
+    assert_eq!(state.outcomes[0].kills, 0);
+    assert!(state.outcomes[0].recoveries >= 1, "the recovered dimension must be journaled");
+    std::fs::remove_file(&manifest).ok();
+}
+
+#[test]
 fn usage_errors_exit_2() {
     assert_eq!(suite(&["ep", "--bogus"]).status.code(), Some(2));
     assert_eq!(suite(&["zz"]).status.code(), Some(2));
