@@ -1,0 +1,157 @@
+//! **Synchronization-overhead microbenchmark** (EPCC-syncbench style) —
+//! measures the two primitives the paper blames for Java's scalability
+//! gap: region fork/join (the master–worker `wait()`/`notify()`
+//! round-trip of §4) and a barrier crossing, as a function of thread
+//! count and synchronization mode.
+//!
+//! Two modes per thread count:
+//!
+//! * **park** (`NPB_SPIN_US=0` semantics): every waiter parks on its
+//!   condvar immediately — the paper's Java model, and this runtime's
+//!   behavior before the hybrid fast path existed;
+//! * **spin** (the default budget): waiters burn a bounded adaptive spin
+//!   on the lock-free fast path first.
+//!
+//! ```text
+//! cargo run --release -p npb-bench --bin syncbench -- \
+//!     [--threads 1,2,4] [--reps N] [--barriers N] [--spin-us US] [--json PATH]
+//! ```
+//!
+//! `--json PATH` additionally writes the machine-readable snapshot that
+//! `scripts/ci.sh` validates and `BENCH_sync.json` archives.
+
+use std::time::Instant;
+
+use npb_runtime::{run_par, Team, DEFAULT_SPIN_US};
+
+/// Nanoseconds per empty region dispatch (fork + join), median of
+/// `batches` timed batches of `reps` regions each.
+fn fork_join_ns(team: &Team, reps: usize, batches: usize) -> f64 {
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            team.exec(|_| {});
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    median(samples)
+}
+
+/// Nanoseconds per barrier crossing: one region runs `barriers`
+/// back-to-back barriers, so the region's own fork/join cost amortizes
+/// away. Median of `batches` regions.
+fn barrier_ns(team: &Team, barriers: usize, batches: usize) -> f64 {
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        run_par(Some(team), |p| {
+            for _ in 0..barriers {
+                p.barrier();
+            }
+        });
+        samples.push(t0.elapsed().as_nanos() as f64 / barriers as f64);
+    }
+    median(samples)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+struct Row {
+    threads: usize,
+    mode: &'static str,
+    spin_us: u64,
+    fork_join_ns: f64,
+    barrier_ns: f64,
+}
+
+fn main() {
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    let mut reps = 2000usize;
+    let mut barriers = 2000usize;
+    let mut spin_us = DEFAULT_SPIN_US;
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().expect("flag value").to_string();
+        match flag.as_str() {
+            "--threads" | "-t" => {
+                threads = val().split(',').map(|s| s.parse().expect("thread count")).collect()
+            }
+            "--reps" => reps = val().parse().expect("reps"),
+            "--barriers" => barriers = val().parse().expect("barriers"),
+            "--spin-us" => spin_us = val().parse().expect("spin budget in us"),
+            "--json" => json_path = Some(val()),
+            other => panic!("unknown flag {other} (--threads --reps --barriers --spin-us --json)"),
+        }
+    }
+    assert!(threads.iter().all(|&t| t >= 1), "syncbench needs at least one worker");
+
+    println!("== Synchronization overhead: hybrid spin-then-park vs pure park ==");
+    println!("host: single-CPU substitute for the paper's SMPs (see DESIGN.md)");
+    println!(
+        "fork/join = empty `Team::exec` region; barrier = one crossing inside a region \
+         ({reps} reps, {barriers} barriers/region, medians of 5 batches)"
+    );
+    println!();
+    println!("{:<10} {:<12} {:>16} {:>16}", "threads", "mode", "fork/join (ns)", "barrier (ns)");
+
+    let batches = 5;
+    let mut rows: Vec<Row> = Vec::new();
+    for &t in &threads {
+        for (mode, us) in [("park", 0u64), ("spin", spin_us)] {
+            let team = Team::new(t);
+            team.set_spin_us(us);
+            // Warm-up: fault in stacks, partitions, and steady-state
+            // scheduling before the timed batches.
+            for _ in 0..100 {
+                team.exec(|p| p.barrier());
+            }
+            let fj = fork_join_ns(&team, reps, batches);
+            let bar = barrier_ns(&team, barriers, batches);
+            println!("{t:<10} {:<12} {fj:>16.0} {bar:>16.0}", format!("{mode}({us}us)"));
+            rows.push(Row { threads: t, mode, spin_us: us, fork_join_ns: fj, barrier_ns: bar });
+        }
+    }
+
+    // Speedups, park / spin, per thread count.
+    println!();
+    for &t in &threads {
+        let park = rows.iter().find(|r| r.threads == t && r.mode == "park").unwrap();
+        let spin = rows.iter().find(|r| r.threads == t && r.mode == "spin").unwrap();
+        println!(
+            "t{t}: fork/join {:.2}x, barrier {:.2}x (park/spin)",
+            park.fork_join_ns / spin.fork_join_ns,
+            park.barrier_ns / spin.barrier_ns
+        );
+    }
+
+    if let Some(path) = json_path {
+        // Hand-rolled JSON, like npb --json: the workspace is hermetic
+        // (no serde).
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"syncbench\",\n");
+        out.push_str(&format!("  \"reps\": {reps},\n"));
+        out.push_str(&format!("  \"barriers_per_region\": {barriers},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"mode\": \"{}\", \"spin_us\": {}, \
+                 \"fork_join_ns\": {:.1}, \"barrier_ns\": {:.1}}}{}\n",
+                r.threads,
+                r.mode,
+                r.spin_us,
+                r.fork_join_ns,
+                r.barrier_ns,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write json snapshot");
+        println!("\nwrote {path}");
+    }
+}

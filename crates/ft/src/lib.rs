@@ -24,9 +24,35 @@ use npb_core::{
     ipow46, randlc, vranlc, BenchReport, Class, GuardAction, GuardConfig, GuardStats, SdcGuard,
     Style, Verified, A_DEFAULT, SEED_DEFAULT,
 };
-use npb_runtime::{escalate_corruption, run_par, SharedMut, Team};
+use npb_runtime::{escalate_corruption, run_par, RankScratch, SharedMut, Team};
 
 const ALPHA: f64 = 1.0e-6;
+
+/// Reusable per-rank FFT line buffers (the `tx`/`ty` pair each
+/// `cffts1/2/3` pass works a line through), sized for the largest grid
+/// dimension so one pair serves all three transform directions.
+///
+/// The solver loop calls three transform passes per time step; before
+/// this existed, each pass allocated two fresh `Vec`s per rank *inside
+/// the timed region*. Allocate once per run (before `timer.start`) and
+/// reuse instead.
+pub struct FftScratch {
+    lines: RankScratch<(Vec<C64>, Vec<C64>)>,
+}
+
+impl FftScratch {
+    /// One `tx`/`ty` pair per rank, each `maxdim` long.
+    pub fn new(ranks: usize, maxdim: usize) -> FftScratch {
+        FftScratch {
+            lines: RankScratch::new(ranks, |_| (vec![C64::ZERO; maxdim], vec![C64::ZERO; maxdim])),
+        }
+    }
+
+    /// Scratch sized for `p`'s grid and `team`'s width (1 when serial).
+    pub fn for_run(p: &FtParams, team: Option<&Team>) -> FftScratch {
+        FftScratch::new(team.map_or(1, Team::size), p.nx.max(p.ny).max(p.nz))
+    }
+}
 
 /// FT benchmark state.
 pub struct FtState {
@@ -174,15 +200,18 @@ impl FtState {
         team: Option<&Team>,
         gcfg: &GuardConfig,
     ) -> FtOutcome {
+        // Per-rank FFT line buffers, allocated once before the timed
+        // section; the solver loop reuses them across every transform.
+        let scratch = FftScratch::for_run(&self.p, team);
         // Untimed warm-up: touch every page once.
         self.compute_indexmap(team);
         self.compute_initial_conditions(team);
-        fft3d::<SAFE>(1, &self.p, &self.table, &mut self.u1, &mut self.u0, team);
+        fft3d::<SAFE>(1, &self.p, &self.table, &mut self.u1, &mut self.u0, &scratch, team);
 
         let t0 = std::time::Instant::now();
         self.compute_indexmap(team);
         self.compute_initial_conditions(team);
-        fft3d::<SAFE>(1, &self.p, &self.table, &mut self.u1, &mut self.u0, team);
+        fft3d::<SAFE>(1, &self.p, &self.table, &mut self.u1, &mut self.u0, &scratch, team);
         let mut sums = Vec::with_capacity(self.p.niter);
         let mut guard = SdcGuard::new(gcfg, self.p.niter);
         guard.init(&[complex::as_f64(&self.u0)]);
@@ -200,7 +229,7 @@ impl FtState {
                 }
             }
             self.evolve(team);
-            fft3d_inplace::<SAFE>(-1, &self.p, &self.table, &mut self.u1, team);
+            fft3d_inplace::<SAFE>(-1, &self.p, &self.table, &mut self.u1, &scratch, team);
             sums.push(self.checksum());
             guard.end(it, &[complex::as_f64(&self.u0)], None);
             it += 1;
@@ -219,18 +248,19 @@ pub fn fft3d<const SAFE: bool>(
     table: &FftTable,
     x: &mut [C64],
     out: &mut [C64],
+    scratch: &FftScratch,
     team: Option<&Team>,
 ) {
     let sx = unsafe { SharedMut::new(x) };
     let so = unsafe { SharedMut::new(out) };
     if is == 1 {
-        cffts1::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts3::<SAFE>(is, p, table, &sx, &so, team);
+        cffts1::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts3::<SAFE>(is, p, table, &sx, &so, scratch, team);
     } else {
-        cffts3::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts1::<SAFE>(is, p, table, &sx, &so, team);
+        cffts3::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts1::<SAFE>(is, p, table, &sx, &so, scratch, team);
     }
 }
 
@@ -240,17 +270,18 @@ pub fn fft3d_inplace<const SAFE: bool>(
     p: &FtParams,
     table: &FftTable,
     x: &mut [C64],
+    scratch: &FftScratch,
     team: Option<&Team>,
 ) {
     let sx = unsafe { SharedMut::new(x) };
     if is == 1 {
-        cffts1::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts3::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts1::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts3::<SAFE>(is, p, table, &sx, &sx, scratch, team);
     } else {
-        cffts3::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts2::<SAFE>(is, p, table, &sx, &sx, team);
-        cffts1::<SAFE>(is, p, table, &sx, &sx, team);
+        cffts3::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts2::<SAFE>(is, p, table, &sx, &sx, scratch, team);
+        cffts1::<SAFE>(is, p, table, &sx, &sx, scratch, team);
     }
 }
 
@@ -261,19 +292,21 @@ fn cffts1<const SAFE: bool>(
     table: &FftTable,
     x: &SharedMut<C64>,
     out: &SharedMut<C64>,
+    scratch: &FftScratch,
     team: Option<&Team>,
 ) {
     let (d1, d2, d3) = (p.nx, p.ny, p.nz);
     run_par(team, |par| {
-        let mut tx = vec![C64::ZERO; d1];
-        let mut ty = vec![C64::ZERO; d1];
+        // SAFETY: rank `tid` of this region exclusively owns slot `tid`,
+        // and the borrow ends with the region (RankScratch discipline).
+        let (tx, ty) = unsafe { scratch.lines.rank_mut(par.tid()) };
         for k in par.range(d3) {
             for j in 0..d2 {
                 let base = d1 * (j + d2 * k);
                 for i in 0..d1 {
                     tx[i] = x.get::<SAFE>(base + i);
                 }
-                cfftz::<SAFE>(is, d1, table, &mut tx, &mut ty);
+                cfftz::<SAFE>(is, d1, table, tx, ty);
                 for i in 0..d1 {
                     out.set::<SAFE>(base + i, tx[i]);
                 }
@@ -289,19 +322,20 @@ fn cffts2<const SAFE: bool>(
     table: &FftTable,
     x: &SharedMut<C64>,
     out: &SharedMut<C64>,
+    scratch: &FftScratch,
     team: Option<&Team>,
 ) {
     let (d1, d2, d3) = (p.nx, p.ny, p.nz);
     run_par(team, |par| {
-        let mut tx = vec![C64::ZERO; d2];
-        let mut ty = vec![C64::ZERO; d2];
+        // SAFETY: see cffts1.
+        let (tx, ty) = unsafe { scratch.lines.rank_mut(par.tid()) };
         for k in par.range(d3) {
             for i in 0..d1 {
                 let base = i + d1 * d2 * k;
                 for j in 0..d2 {
                     tx[j] = x.get::<SAFE>(base + d1 * j);
                 }
-                cfftz::<SAFE>(is, d2, table, &mut tx, &mut ty);
+                cfftz::<SAFE>(is, d2, table, tx, ty);
                 for j in 0..d2 {
                     out.set::<SAFE>(base + d1 * j, tx[j]);
                 }
@@ -317,19 +351,20 @@ fn cffts3<const SAFE: bool>(
     table: &FftTable,
     x: &SharedMut<C64>,
     out: &SharedMut<C64>,
+    scratch: &FftScratch,
     team: Option<&Team>,
 ) {
     let (d1, d2, d3) = (p.nx, p.ny, p.nz);
     run_par(team, |par| {
-        let mut tx = vec![C64::ZERO; d3];
-        let mut ty = vec![C64::ZERO; d3];
+        // SAFETY: see cffts1.
+        let (tx, ty) = unsafe { scratch.lines.rank_mut(par.tid()) };
         for j in par.range(d2) {
             for i in 0..d1 {
                 let base = i + d1 * j;
                 for k in 0..d3 {
                     tx[k] = x.get::<SAFE>(base + d1 * d2 * k);
                 }
-                cfftz::<SAFE>(is, d3, table, &mut tx, &mut ty);
+                cfftz::<SAFE>(is, d3, table, tx, ty);
                 for k in 0..d3 {
                     out.set::<SAFE>(base + d1 * d2 * k, tx[k]);
                 }
@@ -439,8 +474,9 @@ mod tests {
         let x0: Vec<C64> =
             (0..n).map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
         let mut x = x0.clone();
-        fft3d_inplace::<true>(1, &p, &table, &mut x, None);
-        fft3d_inplace::<true>(-1, &p, &table, &mut x, None);
+        let scratch = FftScratch::for_run(&p, None);
+        fft3d_inplace::<true>(1, &p, &table, &mut x, &scratch, None);
+        fft3d_inplace::<true>(-1, &p, &table, &mut x, &scratch, None);
         let scale = 1.0 / n as f64;
         for i in 0..n {
             let got = x[i].scale(scale);

@@ -56,6 +56,9 @@ pub struct SuiteConfig {
     pub sdc_guard: bool,
     /// Forward `--checkpoint-every K` to every child.
     pub checkpoint_every: Option<usize>,
+    /// Forward `--spin-us US` to every child: the team's hybrid
+    /// spin-then-park budget in microseconds (0 = pure park path).
+    pub spin_us: Option<u64>,
     /// Base of the exponential backoff (0 disables sleeping).
     pub backoff_base_ms: u64,
     /// Sweep seed for the deterministic backoff jitter.
@@ -358,6 +361,9 @@ fn run_child(
     if let Some(k) = cfg.checkpoint_every {
         cmd.arg("--checkpoint-every").arg(k.to_string());
     }
+    if let Some(us) = cfg.spin_us {
+        cmd.arg("--spin-us").arg(us.to_string());
+    }
 
     let started = Instant::now();
     let mut child = match cmd.spawn() {
@@ -429,6 +435,7 @@ mod tests {
             child_timeout_ms: None,
             sdc_guard: false,
             checkpoint_every: None,
+            spin_us: None,
             backoff_base_ms: 0,
             seed: 1,
         }

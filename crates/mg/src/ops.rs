@@ -12,7 +12,33 @@
 //! its outermost (`i3`) loop across the team; `comm3` updates the i1/i2
 //! faces per-plane and then the i3 faces after a barrier.
 
-use npb_runtime::{run_par, Partials, SharedMut, Team};
+use npb_runtime::{run_par, Partials, RankScratch, SharedMut, Team};
+
+/// Reusable per-rank line buffers for the stencil operators.
+///
+/// `resid`/`psinv` work two scratch lines per plane, `rprj3` two and
+/// `interp` three; before this existed each operator call allocated them
+/// fresh — per level, per V-cycle, inside the timed section. One triple
+/// per rank, sized for the finest level (every operator indexes at most
+/// `extent + 2` elements and each line is fully rewritten before it is
+/// read), serves the whole hierarchy.
+pub struct MgScratch {
+    lines: RankScratch<[Vec<f64>; 3]>,
+}
+
+impl MgScratch {
+    /// Per-rank line triples sized for finest extent `nmax`.
+    pub fn new(ranks: usize, nmax: usize) -> MgScratch {
+        MgScratch {
+            lines: RankScratch::new(ranks, |_| std::array::from_fn(|_| vec![0.0; nmax + 2])),
+        }
+    }
+
+    /// Number of rank slots this scratch was sized for.
+    pub fn ranks(&self) -> usize {
+        self.lines.len()
+    }
+}
 
 /// 1-based flat index into a cube of extent `n`.
 #[inline(always)]
@@ -67,12 +93,14 @@ pub fn resid<const SAFE: bool>(
     r: &SharedMut<f64>,
     n: usize,
     a: &[f64; 4],
+    scratch: &MgScratch,
     team: Option<&Team>,
 ) {
     run_par(team, |p| {
         let id = |i1, i2, i3| id1(n, i1, i2, i3);
-        let mut u1 = vec![0.0f64; n + 1];
-        let mut u2 = vec![0.0f64; n + 1];
+        // SAFETY: rank `tid` of this region exclusively owns slot `tid`,
+        // and the borrow ends with the region (RankScratch discipline).
+        let [u1, u2, _] = unsafe { scratch.lines.rank_mut(p.tid()) };
         for i3 in p.range_of(2, n) {
             for i2 in 2..n {
                 for i1 in 1..=n {
@@ -108,12 +136,13 @@ pub fn psinv<const SAFE: bool>(
     u: &SharedMut<f64>,
     n: usize,
     c: &[f64; 4],
+    scratch: &MgScratch,
     team: Option<&Team>,
 ) {
     run_par(team, |p| {
         let id = |i1, i2, i3| id1(n, i1, i2, i3);
-        let mut r1 = vec![0.0f64; n + 1];
-        let mut r2 = vec![0.0f64; n + 1];
+        // SAFETY: see resid.
+        let [r1, r2, _] = unsafe { scratch.lines.rank_mut(p.tid()) };
         for i3 in p.range_of(2, n) {
             for i2 in 2..n {
                 for i1 in 1..=n {
@@ -153,6 +182,7 @@ pub fn rprj3<const SAFE: bool>(
     nf: usize,
     s: &SharedMut<f64>,
     nc: usize,
+    scratch: &MgScratch,
     team: Option<&Team>,
 ) {
     // The d1=2 branch of the reference only triggers for extent-3 grids,
@@ -161,8 +191,8 @@ pub fn rprj3<const SAFE: bool>(
     run_par(team, |p| {
         let idf = |i1, i2, i3| id1(nf, i1, i2, i3);
         let idc = |i1, i2, i3| id1(nc, i1, i2, i3);
-        let mut x1 = vec![0.0f64; nf + 2];
-        let mut y1 = vec![0.0f64; nf + 2];
+        // SAFETY: see resid.
+        let [x1, y1, _] = unsafe { scratch.lines.rank_mut(p.tid()) };
         for j3 in p.range_of(2, nc) {
             let i3 = 2 * j3 - 1;
             for j2 in 2..nc {
@@ -214,15 +244,15 @@ pub fn interp<const SAFE: bool>(
     nc: usize,
     u: &SharedMut<f64>,
     nf: usize,
+    scratch: &MgScratch,
     team: Option<&Team>,
 ) {
     assert!(nc >= 4 && nf == 2 * nc - 2, "interp sizes {nc}/{nf}");
     run_par(team, |p| {
         let idc = |i1, i2, i3| id1(nc, i1, i2, i3);
         let idf = |i1, i2, i3| id1(nf, i1, i2, i3);
-        let mut z1 = vec![0.0f64; nc + 1];
-        let mut z2 = vec![0.0f64; nc + 1];
-        let mut z3 = vec![0.0f64; nc + 1];
+        // SAFETY: see resid.
+        let [z1, z2, z3] = unsafe { scratch.lines.rank_mut(p.tid()) };
         for i3 in p.range_of(1, nc) {
             for i2 in 1..nc {
                 for i1 in 1..=nc {
@@ -329,7 +359,8 @@ mod tests {
         let su = unsafe { SharedMut::new(&mut u) };
         let sv = unsafe { SharedMut::new(&mut v) };
         let sr = unsafe { SharedMut::new(&mut r) };
-        resid::<true>(&su, &sv, &sr, n, &a, None);
+        let scratch = MgScratch::new(1, n);
+        resid::<true>(&su, &sv, &sr, n, &a, &scratch, None);
         for i3 in 2..n {
             for i2 in 2..n {
                 for i1 in 2..n {
@@ -355,16 +386,17 @@ mod tests {
             let mut r = vec![0.0; n * n * n];
             let nc = (n - 2) / 2 + 2;
             let mut sgrid = vec![0.0; nc * nc * nc];
+            let scratch = MgScratch::new(team.map_or(1, Team::size), n);
             {
                 let su = unsafe { SharedMut::new(&mut u) };
                 let sv = unsafe { SharedMut::new(&mut v) };
                 let sr = unsafe { SharedMut::new(&mut r) };
                 let ss = unsafe { SharedMut::new(&mut sgrid) };
                 comm3::<false>(&su, n, team);
-                resid::<false>(&su, &sv, &sr, n, &a, team);
-                psinv::<false>(&sr, &su, n, &c, team);
-                rprj3::<false>(&sr, n, &ss, nc, team);
-                interp::<false>(&ss, nc, &su, n, team);
+                resid::<false>(&su, &sv, &sr, n, &a, &scratch, team);
+                psinv::<false>(&sr, &su, n, &c, &scratch, team);
+                rprj3::<false>(&sr, n, &ss, nc, &scratch, team);
+                interp::<false>(&ss, nc, &su, n, &scratch, team);
             }
             (u, r, sgrid)
         };
@@ -433,8 +465,9 @@ mod proptests {
                 let sz = unsafe { SharedMut::new(&mut zero) };
                 let sr1 = unsafe { SharedMut::new(&mut r1) };
                 let sr0 = unsafe { SharedMut::new(&mut r0) };
-                resid::<true>(&su, &sv, &sr1, n, &a, None);
-                resid::<true>(&su, &sz, &sr0, n, &a, None);
+                let scratch = MgScratch::new(1, n);
+                resid::<true>(&su, &sv, &sr1, n, &a, &scratch, None);
+                resid::<true>(&su, &sz, &sr0, n, &a, &scratch, None);
             }
             for i3 in 2..n - 1 {
                 for i2 in 2..n - 1 {
@@ -461,7 +494,8 @@ mod proptests {
             {
                 let sr = unsafe { SharedMut::new(&mut r) };
                 let ss = unsafe { SharedMut::new(&mut s) };
-                rprj3::<true>(&sr, nf, &ss, nc, None);
+                let scratch = MgScratch::new(1, nf);
+                rprj3::<true>(&sr, nf, &ss, nc, &scratch, None);
             }
             // 0.5 + 0.25*6 + 0.125*12 + 0.0625*8 = 4*... the full-weighting
             // stencil sums to 4 in 3-D half-weighting form: check against

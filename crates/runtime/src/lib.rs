@@ -37,18 +37,27 @@
 //! the process, since a stuck rank can be neither killed nor safely
 //! abandoned), and a seeded [`FaultPlan`] injects deterministic
 //! panics/delays/hangs/NaNs for chaos testing.
+//!
+//! The synchronization hot paths are hybrid **spin-then-park** (see the
+//! [`team`] module docs): region dispatch is lock-free epoch publication,
+//! barriers are sense-reversing with bounded adaptive spinning, and the
+//! condvar park of the paper's `wait()`/`notify()` model survives as the
+//! fallback (and as the explicit `NPB_SPIN_US=0` configuration). Per-run
+//! scratch that kernels reuse across regions lives in [`RankScratch`].
 
 mod inject;
 mod partials;
 mod partition;
+mod scratch;
 mod shared;
 mod team;
 
 pub use inject::{FaultKind, FaultPlan};
 pub use partials::Partials;
-pub use partition::partition;
+pub use partition::{partition, partition_starts};
+pub use scratch::RankScratch;
 pub use shared::SharedMut;
 pub use team::{
     escalate_corruption, run_par, BarrierPoisoned, FailurePolicy, InjectedFault, Par, RegionError,
-    Team, WATCHDOG_EXIT_CODE,
+    Team, DEFAULT_SPIN_US, WATCHDOG_EXIT_CODE,
 };

@@ -4,12 +4,13 @@ use std::cell::UnsafeCell;
 
 /// Pads and aligns a value to 128 bytes — two 64-byte lines, covering the
 /// spatial-prefetcher pairing on x86 and the 128-byte lines of some ARM
-/// parts — so adjacent per-thread slots never false-share.
+/// parts — so adjacent per-thread slots never false-share. Shared with
+/// the team's per-rank dispatch/arrival words and [`crate::RankScratch`].
 #[repr(align(128))]
-struct CachePadded<T>(T);
+pub(crate) struct CachePadded<T>(T);
 
 impl<T> CachePadded<T> {
-    fn new(v: T) -> Self {
+    pub(crate) fn new(v: T) -> Self {
         CachePadded(v)
     }
 }

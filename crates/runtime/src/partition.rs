@@ -1,6 +1,7 @@
 //! OpenMP-style static block partitioning of loop ranges.
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// Split `0..len` into `nparts` contiguous blocks and return block `part`.
 ///
@@ -21,6 +22,56 @@ pub fn partition(len: usize, nparts: usize, part: usize) -> Range<usize> {
     let start = part * base + part.min(rem);
     let extra = usize::from(part < rem);
     start..start + base + extra
+}
+
+/// All block boundaries of a static partition at once: `nparts + 1`
+/// cursors such that part `p` is `starts[p]..starts[p + 1]`.
+pub fn partition_starts(len: usize, nparts: usize) -> Box<[usize]> {
+    assert!(nparts > 0, "partition into zero parts");
+    let mut starts = Vec::with_capacity(nparts + 1);
+    starts.push(0);
+    for p in 0..nparts {
+        starts.push(partition(len, nparts, p).end);
+    }
+    starts.into_boxed_slice()
+}
+
+/// Number of cached lengths per team. The NPB kernels partition a handful
+/// of distinct extents per benchmark (grid dimensions and their small
+/// products), so a small direct-mapped table covers the working set.
+const CACHE_SLOTS: usize = 64;
+
+/// Per-team memo of static partitions: [`crate::Par::range`] boundaries
+/// for a given `len` are computed once per team width, not once per
+/// region — divisions leave the region-dispatch hot path.
+///
+/// Direct-mapped and insert-once: each slot memoizes the boundary table
+/// of the first length hashed to it; a colliding different length falls
+/// back to computing [`partition`] directly (correct, just not cached).
+pub(crate) struct PartitionCache {
+    nparts: usize,
+    slots: [OnceLock<(usize, Box<[usize]>)>; CACHE_SLOTS],
+}
+
+impl PartitionCache {
+    pub(crate) fn new(nparts: usize) -> Self {
+        assert!(nparts > 0, "partition into zero parts");
+        PartitionCache { nparts, slots: [const { OnceLock::new() }; CACHE_SLOTS] }
+    }
+
+    #[inline]
+    pub(crate) fn range(&self, len: usize, part: usize) -> Range<usize> {
+        assert!(part < self.nparts, "part {part} out of {}", self.nparts);
+        // Fibonacci multiplicative hash; the top bits index the table.
+        let slot = ((len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize;
+        let (cached_len, starts) =
+            self.slots[slot].get_or_init(|| (len, partition_starts(len, self.nparts)));
+        if *cached_len == len {
+            starts[part]..starts[part + 1]
+        } else {
+            partition(len, self.nparts, part)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +150,45 @@ mod tests {
             let max = *sizes.iter().max().unwrap();
             assert!(max - min <= 1, "len {len}, nparts {nparts}: {sizes:?}");
         }
+    }
+
+    /// `partition_starts` tabulates exactly the per-part boundaries.
+    #[test]
+    fn starts_match_partition() {
+        for (len, nparts) in sampled_cases() {
+            let starts = partition_starts(len, nparts);
+            assert_eq!(starts.len(), nparts + 1);
+            for p in 0..nparts {
+                assert_eq!(starts[p]..starts[p + 1], partition(len, nparts, p));
+            }
+        }
+    }
+
+    /// The cache is a pure memo: every lookup — cached, repeated, or a
+    /// direct-mapped collision — agrees with `partition`.
+    #[test]
+    fn cache_agrees_with_partition() {
+        for nparts in [1usize, 2, 3, 4, 7] {
+            let cache = PartitionCache::new(nparts);
+            // Many more lengths than slots, repeated, so cold inserts,
+            // warm hits, and collisions are all exercised.
+            for _round in 0..2 {
+                for len in 0..512usize {
+                    for p in 0..nparts {
+                        assert_eq!(
+                            cache.range(len, p),
+                            partition(len, nparts, p),
+                            "len {len}, nparts {nparts}, part {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cache_part_out_of_range_panics() {
+        PartitionCache::new(2).range(10, 2);
     }
 }

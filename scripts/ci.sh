@@ -41,6 +41,28 @@ echo "$sdc_out" | grep -q '"verified":"success"'
 recoveries="$(echo "$sdc_out" | grep -o '"recoveries":[0-9]*' | cut -d: -f2)"
 test "${recoveries:-0}" -ge 1
 
+echo "== sync microbench smoke =="
+# The fork/join + barrier microbench must complete at 1/2/4 threads and
+# emit valid JSON (few reps: this is a smoke, not a measurement; the
+# measured snapshot lives in BENCH_sync.json).
+sync_json="$(mktemp -t npb-syncbench-ci.XXXXXX.json)"
+trap 'rm -f "$manifest" "$sync_json"' EXIT
+cargo run --release -p npb-bench --bin syncbench -- \
+    --threads 1,2,4 --reps 50 --barriers 50 --json "$sync_json"
+python3 -c "
+import json, sys
+snap = json.load(open('$sync_json'))
+rows = snap['results']
+assert len(rows) == 6, rows  # 3 thread counts x {park, spin}
+assert all(r['fork_join_ns'] > 0 and r['barrier_ns'] > 0 for r in rows), rows
+"
+
+echo "== spin-vs-park equivalence (explicit park path) =="
+# Pin the paper's pure wait/notify path via the environment so it never
+# bit-rots: the full consistency suite must pass with spinning disabled,
+# and the equivalence test itself compares park vs spin bitwise.
+NPB_SPIN_US=0 cargo test --release --test thread_consistency -q
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

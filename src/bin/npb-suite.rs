@@ -5,7 +5,7 @@
 //!           [--class S[,W,...]] [--style opt[,safe]] [--threads N[,M,...]]
 //!           [--deadline-ms MS] [--retries N]
 //!           [--inject panic|delay|hang|nan|bitflip[:SEED]]
-//!           [--sdc-guard] [--checkpoint-every K]
+//!           [--sdc-guard] [--checkpoint-every K] [--spin-us US]
 //!           [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]
 //!           [--manifest PATH] [--resume PATH] [--npb-bin PATH]
 //! ```
@@ -35,7 +35,9 @@
 //!   the fault-tolerance stack, below the in-process watchdog and this
 //!   supervisor);
 //! * `--child-timeout-ms` forwards `--timeout` to children, arming
-//!   their in-process watchdog (exit 3) under the supervisor's deadline.
+//!   their in-process watchdog (exit 3) under the supervisor's deadline;
+//! * `--spin-us` forwards the team's hybrid spin-then-park budget to
+//!   every child (`0` = the pure park path, the paper's wait/notify).
 //!
 //! Exit codes: 0 every cell of the sweep verified; 1 any cell failed or
 //! was quarantined; 2 usage error.
@@ -55,7 +57,7 @@ fn usage() -> ! {
         "usage: npb-suite <{}|all>\n\
          \x20         [--class S[,W,...]] [--style opt[,safe]] [--threads N[,M,...]]\n\
          \x20         [--deadline-ms MS] [--retries N] [--inject {}[:SEED]]\n\
-         \x20         [--sdc-guard] [--checkpoint-every K]\n\
+         \x20         [--sdc-guard] [--checkpoint-every K] [--spin-us US]\n\
          \x20         [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]\n\
          \x20         [--manifest PATH] [--resume PATH] [--npb-bin PATH]",
         BENCHMARKS.join("|"),
@@ -122,6 +124,7 @@ fn main() {
     let mut child_timeout_ms: Option<u64> = None;
     let mut sdc_guard = false;
     let mut checkpoint_every: Option<usize> = None;
+    let mut spin_us: Option<u64> = None;
     let mut manifest_path: Option<PathBuf> = None;
     let mut resume_path: Option<PathBuf> = None;
     let mut npb_bin: Option<PathBuf> = None;
@@ -189,6 +192,7 @@ fn main() {
                     Err(msg) => eprintln!("npb-suite: {msg}"),
                 }
             }
+            "--spin-us" => spin_us = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
             "--manifest" => manifest_path = Some(PathBuf::from(val(&mut it))),
             "--resume" => resume_path = Some(PathBuf::from(val(&mut it))),
             "--npb-bin" => npb_bin = Some(PathBuf::from(val(&mut it))),
@@ -266,6 +270,7 @@ fn main() {
         child_timeout_ms,
         sdc_guard,
         checkpoint_every,
+        spin_us,
         backoff_base_ms: backoff_ms,
         seed,
     };

@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! npb <BENCH|all> [CLASS] [--class S|W|A|B|C] [--style opt|safe] [--threads N]
-//!                 [--timeout MS] [--inject panic|delay|hang|nan|bitflip[:SEED]]
+//!                 [--spin-us US] [--timeout MS]
+//!                 [--inject panic|delay|hang|nan|bitflip[:SEED]]
 //!                 [--retries N] [--sdc-guard] [--checkpoint-every K] [--json]
 //! ```
 //!
 //! `--threads 0` (default) is the pure serial path. The class can be
 //! given positionally (`npb cg S`) or via `--class`; every value flag
 //! also accepts the `--flag=value` spelling.
+//!
+//! `--spin-us US` sets the team's hybrid-synchronization spin budget in
+//! microseconds (waiters spin that long on the lock-free fast path
+//! before parking on a condvar); `0` forces the pure park path — the
+//! paper's `wait()`/`notify()` model. Defaults to the `NPB_SPIN_US`
+//! environment value, or the runtime's tuned default.
 //!
 //! Fault tolerance:
 //!
@@ -51,7 +58,7 @@ use npb::{
 fn usage() -> ! {
     eprintln!(
         "usage: npb <{}|all> [CLASS] [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
-         \x20          [--timeout MS] [--inject {}[:SEED]] [--retries N]\n\
+         \x20          [--spin-us US] [--timeout MS] [--inject {}[:SEED]] [--retries N]\n\
          \x20          [--sdc-guard] [--checkpoint-every K] [--json]",
         BENCHMARKS.join("|"),
         FaultPlan::KINDS
@@ -84,6 +91,7 @@ fn main() {
     let mut class = Class::S;
     let mut style = Style::Opt;
     let mut threads = 0usize;
+    let mut spin_us: Option<u64> = None;
     let mut timeout: Option<Duration> = None;
     let mut inject: Option<FaultPlan> = None;
     let mut retries = 0usize;
@@ -120,6 +128,7 @@ fn main() {
                 })
             }
             "--threads" | "-t" => threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--spin-us" => spin_us = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
             "--timeout" => {
                 let ms: u64 = val(&mut it).parse().unwrap_or_else(|_| usage());
                 timeout = Some(Duration::from_millis(ms));
@@ -163,8 +172,12 @@ fn main() {
         loop {
             // The injected fault is armed only on the first attempt: it
             // is one-shot by design, so a retry must run clean.
-            let opts =
-                RunOptions { timeout, inject: inject.as_ref().filter(|_| attempt == 0), guard };
+            let opts = RunOptions {
+                timeout,
+                inject: inject.as_ref().filter(|_| attempt == 0),
+                guard,
+                spin_us,
+            };
             match try_run_benchmark(name, class, style, threads, &opts) {
                 Ok(report) => {
                     println!("{}", report.banner());

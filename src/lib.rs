@@ -88,6 +88,12 @@ pub struct RunOptions<'p> {
     /// benchmarks (BT, SP, LU, FT, CG, MG) have guarded outer loops; IS
     /// and EP ignore it.
     pub guard: GuardConfig,
+    /// Spin budget, in microseconds, that the team's waiters burn before
+    /// parking on their condvars (`--spin-us`; overrides the
+    /// `NPB_SPIN_US` environment default). `Some(0)` forces the pure
+    /// park path — the paper's wait/notify model. `None` keeps the
+    /// team's own default. Ignored when `threads == 0` (no team).
+    pub spin_us: Option<u64>,
 }
 
 /// Run one benchmark by name.
@@ -132,6 +138,9 @@ pub fn try_run_benchmark(
     let team = if threads == 0 { None } else { Some(Team::new(threads)) };
     if let (Some(t), Some(d)) = (team.as_ref(), opts.timeout) {
         t.set_region_timeout(Some(d));
+    }
+    if let (Some(t), Some(us)) = (team.as_ref(), opts.spin_us) {
+        t.set_spin_us(us);
     }
     if let Some(plan) = opts.inject {
         plan.arm(team.as_ref()).map_err(RunError::Config)?;

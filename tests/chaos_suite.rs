@@ -60,6 +60,32 @@ fn injected_panic_mid_barrier_is_reported_and_team_recovers_at_full_width() {
 }
 
 #[test]
+fn injected_panic_mid_barrier_poisons_spinning_waiters() {
+    // Same failure as above, but with an effectively unbounded spin
+    // budget: the victim's siblings are burning the lock-free spin phase
+    // of the barrier, not parked on the condvar, when poisoning must
+    // reach them.
+    guarded(60, || {
+        let team = Team::new(4);
+        team.set_spin_us(200_000);
+        let plan = FaultPlan::new(FaultKind::Panic, 1);
+        let victim = plan.victim(4);
+        plan.arm(Some(&team)).unwrap();
+        let err =
+            team.try_exec(|p| p.barrier()).expect_err("armed panic fault must fail the region");
+        match err {
+            RegionError::Panicked { tids } => {
+                assert_eq!(tids, vec![victim], "only the victim is a primary panic")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Healed and still spinning: the next region runs clean.
+        assert_eq!(team.size(), 4, "default policy respawns to full width");
+        team.exec(|p| p.barrier());
+    });
+}
+
+#[test]
 fn injected_delay_is_absorbed_without_deadlock() {
     guarded(60, || {
         let team = Team::new(3);
@@ -137,12 +163,14 @@ fn injected_panic_fails_a_real_benchmark_then_retry_succeeds() {
 
 /// Run `bench` with an armed exponent bit flip and the SDC guard on;
 /// the guard must detect the corruption, roll back to the last
-/// checkpoint, replay, and still verify.
-fn assert_bitflip_recovery(bench: &str, threads: usize) {
+/// checkpoint, replay, and still verify. `spin_us` selects the
+/// synchronization mode (`None` keeps the team default).
+fn assert_bitflip_recovery_with_spin(bench: &str, threads: usize, spin_us: Option<u64>) {
     let plan = FaultPlan::parse("bitflip:42").unwrap();
     let opts = RunOptions {
         inject: Some(&plan),
         guard: GuardConfig::enabled_every(2),
+        spin_us,
         ..RunOptions::default()
     };
     let report = try_run_benchmark(bench, Class::S, Style::Opt, threads, &opts)
@@ -160,6 +188,10 @@ fn assert_bitflip_recovery(bench: &str, threads: usize) {
         report.checkpoint_count >= 1,
         "{bench} t={threads}: recovery is impossible without checkpoints"
     );
+}
+
+fn assert_bitflip_recovery(bench: &str, threads: usize) {
+    assert_bitflip_recovery_with_spin(bench, threads, None);
 }
 
 /// The no-guard control: the same flip corrupts the run and nothing
@@ -198,6 +230,17 @@ fn ft_bitflip_is_detected_rolled_back_and_verified() {
         assert_bitflip_recovery("FT", 0);
         assert_bitflip_recovery("FT", 2);
         assert_bitflip_unguarded_fails("FT", 0);
+    });
+}
+
+#[test]
+fn bitflip_recovery_works_with_spinning_enabled() {
+    // The rollback-and-replay path reuses the team across attempts;
+    // spinning waiters must not perturb detection, checkpointing, or the
+    // replay's numerics.
+    guarded(120, || {
+        assert_bitflip_recovery_with_spin("CG", 2, Some(200_000));
+        assert_bitflip_recovery_with_spin("MG", 2, Some(200_000));
     });
 }
 
@@ -243,6 +286,29 @@ fn driver_watchdog_timeout_terminates_with_watchdog_exit_code() {
     // the dedicated exit code, naming the stuck rank.
     let out =
         npb(&["ep", "--class", "S", "--threads", "2", "--inject", "hang:1", "--timeout", "500"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(npb::WATCHDOG_EXIT_CODE), "stderr: {stderr}");
+    assert!(stderr.contains("never arrived"), "stderr: {stderr}");
+}
+
+#[test]
+fn driver_watchdog_fires_while_workers_are_spinning() {
+    // With a large spin budget the healthy rank spins (then parks) while
+    // the hang-injected rank is wedged; the master's own spin phase is
+    // bounded by the watchdog deadline, so the timeout must still fire.
+    let out = npb(&[
+        "ep",
+        "--class",
+        "S",
+        "--threads",
+        "2",
+        "--inject",
+        "hang:1",
+        "--timeout",
+        "500",
+        "--spin-us",
+        "200000",
+    ]);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(npb::WATCHDOG_EXIT_CODE), "stderr: {stderr}");
     assert!(stderr.contains("never arrived"), "stderr: {stderr}");

@@ -99,6 +99,60 @@ fn every_benchmark_reproduces_across_serial_and_1_2_4_threads() {
     }
 }
 
+/// Spin-vs-park equivalence: the synchronization mode must never change
+/// a numerical result.
+///
+/// The hybrid runtime's two extremes — the pure park path
+/// (`NPB_SPIN_US=0`, the paper's wait/notify model) and an effectively
+/// always-spin budget — schedule the same rank-ordered work over the
+/// same cached partitions, so every benchmark must produce **bitwise**
+/// identical verification quantities under both, at every team size.
+/// Unlike the serial-vs-team comparison above, this holds even for the
+/// order-sensitive reductions (EP, MG): at a fixed thread count the
+/// reduction order is fixed, whatever the waiters do while they wait.
+#[test]
+fn spin_and_park_paths_are_bit_identical_for_every_benchmark() {
+    let c = Class::S;
+    let s = Style::Opt;
+    // Large enough that no waiter ever parks at class S region lengths.
+    const ALWAYS_SPIN_US: u64 = 200_000;
+    for n in [1usize, 2, 4] {
+        let run = |spin_us: u64| {
+            let team = Team::new(n);
+            team.set_spin_us(spin_us);
+            let t = Some(&team);
+            let bt = npb_bt::run_raw(c, s, t);
+            let sp = npb_sp::run_raw(c, s, t);
+            let lu = npb_lu::run_raw(c, s, t);
+            let ft = npb_ft::run_raw(c, s, t);
+            let cg = npb_cg::run_raw(c, s, t);
+            let mg = npb_mg::run_raw(c, s, t);
+            let ep = npb_ep::run_raw(c, s, t);
+            let is_ok = npb_is::run(c, s, t).verified.is_success();
+            (
+                (bt.xcr, bt.xce),
+                (sp.xcr, sp.xce),
+                (lu.xcr, lu.xce, lu.xci),
+                ft.sums,
+                cg.zeta,
+                mg.rnm2,
+                (ep.sx, ep.sy, ep.q),
+                is_ok,
+            )
+        };
+        let park = run(0);
+        let spin = run(ALWAYS_SPIN_US);
+        assert_eq!(park.0, spin.0, "BT t{n}");
+        assert_eq!(park.1, spin.1, "SP t{n}");
+        assert_eq!(park.2, spin.2, "LU t{n}");
+        assert_eq!(park.3, spin.3, "FT t{n}");
+        assert_eq!(park.4, spin.4, "CG t{n}");
+        assert_eq!(park.5, spin.5, "MG t{n}");
+        assert_eq!(park.6, spin.6, "EP t{n}");
+        assert!(park.7 && spin.7, "IS t{n}: both modes must verify");
+    }
+}
+
 #[test]
 fn one_team_can_serve_many_benchmarks_in_sequence() {
     // The persistent master-worker team survives across whole benchmark
