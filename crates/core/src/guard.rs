@@ -616,8 +616,12 @@ impl SdcGuard {
         if count >= self.cfg.max_detections {
             return GuardAction::Escalate { iteration: it, detections: count };
         }
+        // A rollback is a real consumer of wall clock; record it as a
+        // trace span so recoveries are visible in the profile.
+        let span = crate::trace::master_span(crate::trace::SpanKind::Rollback);
         match self.store.restore(arrays) {
             Some(resume) => {
+                drop(span);
                 self.recoveries += 1;
                 let views: Vec<&[f64]> = arrays.iter().map(|a| &a[..]).collect();
                 for g in &mut self.guards {
@@ -632,6 +636,7 @@ impl SdcGuard {
                 GuardAction::Rollback { resume }
             }
             None => {
+                span.cancel();
                 eprintln!("npb: sdc-guard: no intact checkpoint remains; escalating");
                 GuardAction::Escalate { iteration: it, detections: count }
             }
@@ -789,6 +794,9 @@ mod tests {
     /// run must converge to the same final state as a fault-free run.
     #[test]
     fn guarded_loop_recovers_from_armed_flip() {
+        // Rollbacks record a trace span when a session is installed;
+        // serialize against the trace tests that install one.
+        let _trace = crate::trace::GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let niter = 8usize;
         let run = |arm: bool, cfg: &GuardConfig| -> (Vec<f64>, GuardStats) {
             if arm {
@@ -842,6 +850,7 @@ mod tests {
 
     #[test]
     fn repeated_detection_at_same_iteration_escalates() {
+        let _trace = crate::trace::GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let cfg = GuardConfig { enabled: true, checkpoint_every: 1, max_detections: 3 };
         let mut state = vec![vec![1.0f64; 4]];
         let mut guard = SdcGuard::new(&cfg, 10);

@@ -18,6 +18,9 @@
 //!   monitors), iteration-level checkpoint/rollback, and the
 //!   deterministic bit-flip hook,
 //! * [`report`] — the standard NPB result banner,
+//! * [`trace`] — the `npb-trace` observability layer: per-rank span
+//!   recording (compute / barrier spin / barrier park / dispatch),
+//!   named phase scopes, and JSON / folded-stack profile export,
 //! * [`access`] — the dual-style (bounds-checked "Java" vs unchecked
 //!   "Fortran") element access used to reproduce the paper's
 //!   Java-vs-Fortran axis in a single code base.
@@ -28,6 +31,7 @@ pub mod guard;
 pub mod random;
 pub mod report;
 pub mod timer;
+pub mod trace;
 pub mod verify;
 
 pub use access::{fmadd, ld, st, Style};
@@ -37,6 +41,7 @@ pub use guard::{
     SdcGuard,
 };
 pub use random::{ipow46, randlc, vranlc, Randlc, RandlcInt, A_DEFAULT, SEED_DEFAULT};
-pub use report::BenchReport;
-pub use timer::Timers;
+pub use report::{BenchReport, RegionProfile};
+pub use timer::{RegionRegistry, RegionStats, RegionTimerError, Timers};
+pub use trace::{SpanKind, TraceFormat, TraceSession};
 pub use verify::{arm_nan_corruption, nan_corruption_armed, rel_err_ok, Verified};

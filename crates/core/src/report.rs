@@ -2,6 +2,19 @@
 
 use crate::{Class, Style, Verified};
 
+/// Per-region profile attached to a [`BenchReport`] when tracing ran:
+/// the benchmark-named phase, its attributable seconds, and its
+/// per-rank load-imbalance ratio (max/mean, 1.0 = balanced).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionProfile {
+    /// Phase name as registered by the benchmark (e.g. `conj_grad`).
+    pub name: String,
+    /// Seconds attributable to the region (master-scope wall time).
+    pub secs: f64,
+    /// Per-rank compute imbalance, max/mean.
+    pub imbalance: f64,
+}
+
 /// Escape `s` for inclusion inside a JSON string literal.
 ///
 /// This is the single JSON-string escaper of the workspace (the build is
@@ -55,6 +68,9 @@ pub struct BenchReport {
     /// Wall-clock seconds spent in the guard layer (checks + snapshots),
     /// so checkpoint cost is visible in sweeps.
     pub checkpoint_overhead_s: f64,
+    /// Per-region profile from `npb-trace`; empty when tracing was off
+    /// (the JSON record then omits the field, keeping the classic shape).
+    pub regions: Vec<RegionProfile>,
 }
 
 impl BenchReport {
@@ -103,6 +119,13 @@ impl BenchReport {
                 self.recoveries, self.checkpoint_count, self.checkpoint_overhead_s
             ));
         }
+        // Likewise the per-region profile: only when tracing ran.
+        for r in &self.regions {
+            banner.push_str(&format!(
+                "Region          = {:>12} {:>9.3}s (imbalance {:.2})\n",
+                r.name, r.secs, r.imbalance
+            ));
+        }
         banner
     }
 
@@ -120,11 +143,11 @@ impl BenchReport {
             Verified::Failure => "failure",
             Verified::NotPerformed => "not-performed",
         };
-        format!(
+        let mut json = format!(
             "{{\"name\":\"{}\",\"class\":\"{}\",\"style\":\"{}\",\"threads\":{},\
              \"size\":[{},{},{}],\"niter\":{},\"time_secs\":{},\"mops\":{},\
              \"verified\":\"{}\",\"attempts\":{},\"recoveries\":{},\
-             \"checkpoint_count\":{},\"checkpoint_overhead_s\":{}}}",
+             \"checkpoint_count\":{},\"checkpoint_overhead_s\":{}",
             json_escape(self.name),
             json_escape(&self.class.to_string()),
             json_escape(self.style.label()),
@@ -140,7 +163,26 @@ impl BenchReport {
             self.recoveries,
             self.checkpoint_count,
             self.checkpoint_overhead_s
-        )
+        );
+        // Appended only when tracing produced a profile, so plain runs
+        // keep the exact classic record shape.
+        if !self.regions.is_empty() {
+            json.push_str(",\"regions\":[");
+            for (i, r) in self.regions.iter().enumerate() {
+                if i > 0 {
+                    json.push(',');
+                }
+                json.push_str(&format!(
+                    "{{\"name\":\"{}\",\"secs\":{},\"imbalance\":{}}}",
+                    json_escape(&r.name),
+                    r.secs,
+                    r.imbalance
+                ));
+            }
+            json.push(']');
+        }
+        json.push('}');
+        json
     }
 
     /// One-line CSV-ish record for harness output.
@@ -176,6 +218,7 @@ mod tests {
             recoveries: 0,
             checkpoint_count: 0,
             checkpoint_overhead_s: 0.0,
+            regions: Vec::new(),
         }
     }
 
@@ -233,6 +276,26 @@ mod tests {
         let b = r.banner();
         assert!(b.contains("Recoveries      =            1"));
         assert!(b.contains("Checkpoints     =            8"));
+    }
+
+    #[test]
+    fn json_and_banner_carry_regions_only_when_traced() {
+        let mut r = sample();
+        assert!(!r.to_json(1).contains("regions"), "plain record keeps classic shape");
+        assert!(!r.banner().contains("Region"));
+        r.regions = vec![
+            RegionProfile { name: "conj_grad".to_string(), secs: 0.5, imbalance: 1.25 },
+            RegionProfile { name: "power_step".to_string(), secs: 0.125, imbalance: 1.0 },
+        ];
+        let j = r.to_json(1);
+        assert!(j.contains(
+            "\"regions\":[{\"name\":\"conj_grad\",\"secs\":0.5,\"imbalance\":1.25},\
+             {\"name\":\"power_step\",\"secs\":0.125,\"imbalance\":1}]"
+        ));
+        assert!(j.ends_with("}]}"));
+        let b = r.banner();
+        assert!(b.contains("conj_grad"));
+        assert!(b.contains("(imbalance 1.25)"));
     }
 
     #[test]

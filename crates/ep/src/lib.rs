@@ -14,7 +14,7 @@ mod params;
 
 pub use params::{EpParams, EpRefs};
 
-use npb_core::{fmadd, ipow46, randlc, vranlc, BenchReport, Class, Style, Verified};
+use npb_core::{fmadd, ipow46, randlc, trace, vranlc, BenchReport, Class, Style, Verified};
 use npb_runtime::{run_par, Partials, Team};
 
 /// Log2 of the batch size (NPB's `MK`): each batch draws `2^(MK+1)`
@@ -99,6 +99,7 @@ fn run_impl<const SAFE: bool>(params: &EpParams, team: Option<&Team>) -> EpResul
     let psy = Partials::new(nthreads);
     let pq: Vec<Partials> = (0..NQ).map(|_| Partials::new(nthreads)).collect();
 
+    let _phase = trace::scope("gaussian_pairs");
     run_par(team, |p| {
         let mut local = EpResult { sx: 0.0, sy: 0.0, q: [0.0; NQ], gc: 0.0 };
         let mut x = vec![0.0f64; 2 * nk];
@@ -139,6 +140,8 @@ pub fn verify(class: Class, res: &EpResult) -> Verified {
 /// accounting (NPB counts the number of Gaussian pairs per second).
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
     let params = EpParams::for_class(class);
+    // EP has no warm-up: the whole run is the timed section.
+    trace::reset();
     let t0 = std::time::Instant::now();
     let res = match style {
         Style::Opt => run_impl::<false>(&params, team),
@@ -160,6 +163,7 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         recoveries: 0,
         checkpoint_count: 0,
         checkpoint_overhead_s: 0.0,
+        regions: Vec::new(),
     }
 }
 

@@ -24,10 +24,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 use npb_core::report::json_escape;
-use npb_core::{Class, Style};
+use npb_core::{Class, RegionProfile, Style};
 
 use crate::json::Json;
-use crate::outcome::AttemptOutcome;
+use crate::outcome::{parse_regions, AttemptOutcome};
 
 /// One point of the sweep: a (benchmark, class, style, threads) cell,
 /// run in its own child process.
@@ -122,6 +122,10 @@ pub struct CellOutcome {
     /// in-computation guard healed it — the `recovered` dimension of
     /// the taxonomy.
     pub recoveries: u64,
+    /// Per-region profile of the verifying run (`--trace` sweeps);
+    /// empty when the children ran untraced. This is the aggregate the
+    /// scalability table is built from on read-back.
+    pub regions: Vec<RegionProfile>,
 }
 
 /// Append-only journal writer.
@@ -189,6 +193,21 @@ impl Manifest {
         }
         if let Some(t) = out.time_secs {
             extra.push_str(&format!(",\"time_secs\":{t}"));
+        }
+        if !out.regions.is_empty() {
+            let items: Vec<String> = out
+                .regions
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"name\":\"{}\",\"secs\":{},\"imbalance\":{}}}",
+                        json_escape(&r.name),
+                        r.secs,
+                        r.imbalance
+                    )
+                })
+                .collect();
+            extra.push_str(&format!(",\"regions\":[{}]", items.join(",")));
         }
         self.line(format!(
             "{{\"event\":\"cell\",{},\"outcome\":\"{}\",\"attempts\":{},\"kills\":{},\
@@ -261,6 +280,8 @@ pub fn read_manifest(path: &Path) -> std::io::Result<ResumeState> {
             time_secs: v.get_num("time_secs"),
             // Absent in pre-guard manifests; absent is 0.
             recoveries: v.get_uint("recoveries").unwrap_or(0),
+            // Absent in untraced sweeps; absent is empty.
+            regions: parse_regions(v.get("regions")),
         });
     }
     Ok(state)
@@ -296,7 +317,26 @@ mod tests {
             mops: Some(123.5),
             time_secs: Some(0.25),
             recoveries: 0,
+            regions: Vec::new(),
         }
+    }
+
+    #[test]
+    fn region_profiles_roundtrip_through_the_journal() {
+        let path = tmp("regions");
+        let mut m = Manifest::create(&path).unwrap();
+        let mut traced = outcome("CG", CellStatus::Verified);
+        traced.regions = vec![
+            RegionProfile { name: "conj_grad".into(), secs: 0.09, imbalance: 1.25 },
+            RegionProfile { name: "power_step".into(), secs: 0.001, imbalance: 1.0 },
+        ];
+        m.cell(&traced).unwrap();
+        m.cell(&outcome("EP", CellStatus::Verified)).unwrap(); // untraced
+        drop(m);
+        let state = read_manifest(&path).unwrap();
+        assert_eq!(state.outcomes[0].regions, traced.regions);
+        assert!(state.outcomes[1].regions.is_empty());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

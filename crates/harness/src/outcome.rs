@@ -10,6 +10,8 @@
 use std::process::ExitStatus;
 use std::time::Duration;
 
+use npb_core::RegionProfile;
+
 use crate::json::Json;
 
 /// What one child process attempt produced, as observed from outside.
@@ -116,6 +118,29 @@ pub struct ChildReport {
     /// SDC detections the child's in-computation guard answered with a
     /// checkpoint rollback (`--sdc-guard`); 0 when the guard was off.
     pub recoveries: u64,
+    /// Per-region profile from the child's `--trace` run; empty when
+    /// the child ran untraced (the record then omits the field).
+    pub regions: Vec<RegionProfile>,
+}
+
+/// Parse a `regions` array (`[{"name":..,"secs":..,"imbalance":..}]`)
+/// as written by `BenchReport::to_json` and the manifest's cell
+/// records. Malformed entries are dropped, not fatal: regions are
+/// observability, never correctness.
+pub fn parse_regions(v: Option<&Json>) -> Vec<RegionProfile> {
+    match v {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|r| {
+                Some(RegionProfile {
+                    name: r.get_str("name")?.to_string(),
+                    secs: r.get_num("secs")?,
+                    imbalance: r.get_num("imbalance")?,
+                })
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
 }
 
 impl ChildReport {
@@ -132,6 +157,8 @@ impl ChildReport {
             attempts: v.get_uint("attempts")?,
             // Absent in records from pre-guard drivers; absent is 0.
             recoveries: v.get_uint("recoveries").unwrap_or(0),
+            // Absent in untraced records; absent is empty.
+            regions: parse_regions(v.get("regions")),
         })
     }
 
@@ -201,6 +228,7 @@ mod tests {
             time_secs: 0.1,
             attempts: 1,
             recoveries: 0,
+            regions: Vec::new(),
         }
     }
 
@@ -269,6 +297,23 @@ mod tests {
         let line = r#"{"name":"CG","class":"S","style":"opt","threads":4,"size":[1400,0,0],"niter":15,"time_secs":0.123,"mops":456.7,"verified":"success","attempts":2}"#;
         let r = ChildReport::last_in(line).expect("pre-guard record still parses");
         assert_eq!(r.recoveries, 0);
+    }
+
+    #[test]
+    fn child_report_parses_region_profiles() {
+        let line = r#"{"name":"CG","class":"S","style":"opt","threads":2,"size":[1400,0,0],"niter":15,"time_secs":0.1,"mops":456.7,"verified":"success","attempts":1,"recoveries":0,"checkpoint_count":0,"checkpoint_overhead_s":0,"regions":[{"name":"conj_grad","secs":0.09,"imbalance":1.25},{"name":"power_step","secs":0.001,"imbalance":1}]}"#;
+        let r = ChildReport::last_in(line).expect("traced record parses");
+        assert_eq!(r.regions.len(), 2);
+        assert_eq!(r.regions[0].name, "conj_grad");
+        assert_eq!(r.regions[0].secs, 0.09);
+        assert_eq!(r.regions[0].imbalance, 1.25);
+        // A malformed entry is dropped, the rest kept.
+        let v = Json::parse(
+            r#"{"regions":[{"name":"a","secs":1,"imbalance":1},{"secs":2,"imbalance":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(parse_regions(v.get("regions")).len(), 1);
+        assert!(parse_regions(None).is_empty());
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct SuiteConfig {
     /// Forward `--spin-us US` to every child: the team's hybrid
     /// spin-then-park budget in microseconds (0 = pure park path).
     pub spin_us: Option<u64>,
+    /// Run every child with `--trace` (a throwaway temp file): the
+    /// per-region profile then rides the child's `--json` record into
+    /// the manifest's cell records, feeding the scalability table.
+    pub trace: bool,
     /// Base of the exponential backoff (0 disables sleeping).
     pub backoff_base_ms: u64,
     /// Sweep seed for the deterministic backoff jitter.
@@ -211,6 +215,7 @@ fn run_cell(
                             mops: Some(report.mops),
                             time_secs: Some(report.time_secs),
                             recoveries: report.recoveries,
+                            regions: report.regions,
                         },
                     );
                 }
@@ -226,6 +231,7 @@ fn run_cell(
                             mops: None,
                             time_secs: None,
                             recoveries: 0,
+                            regions: Vec::new(),
                         },
                     );
                 }
@@ -249,6 +255,7 @@ fn run_cell(
                             mops: None,
                             time_secs: None,
                             recoveries: 0,
+                            regions: Vec::new(),
                         },
                     );
                 }
@@ -276,6 +283,7 @@ fn run_cell(
             mops: None,
             time_secs: None,
             recoveries: 0,
+            regions: Vec::new(),
         },
     )
 }
@@ -364,6 +372,27 @@ fn run_child(
     if let Some(us) = cfg.spin_us {
         cmd.arg("--spin-us").arg(us.to_string());
     }
+    // The profile data the supervisor wants rides the --json record;
+    // the export file itself is throwaway (unique per attempt so
+    // concurrent sweeps cannot collide) and removed after the reap.
+    let trace_path = cfg.trace.then(|| {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("npb-suite-trace-{}-{n}.json", std::process::id()))
+    });
+    if let Some(p) = &trace_path {
+        cmd.arg("--trace").arg(p);
+    }
+    // Best-effort removal on every exit path out of this function.
+    struct RemoveOnDrop(Option<PathBuf>);
+    impl Drop for RemoveOnDrop {
+        fn drop(&mut self) {
+            if let Some(p) = &self.0 {
+                std::fs::remove_file(p).ok();
+            }
+        }
+    }
+    let _cleanup = RemoveOnDrop(trace_path);
 
     let started = Instant::now();
     let mut child = match cmd.spawn() {
@@ -436,6 +465,7 @@ mod tests {
             sdc_guard: false,
             checkpoint_every: None,
             spin_us: None,
+            trace: false,
             backoff_base_ms: 0,
             seed: 1,
         }

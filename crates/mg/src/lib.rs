@@ -19,7 +19,7 @@ pub use params::MgParams;
 pub use zran3::zran3;
 
 use npb_core::{
-    BenchReport, Class, GuardAction, GuardConfig, GuardStats, SdcGuard, Style, Verified,
+    trace, BenchReport, Class, GuardAction, GuardConfig, GuardStats, SdcGuard, Style, Verified,
 };
 use npb_runtime::{escalate_corruption, SharedMut, Team};
 pub use ops::MgScratch;
@@ -115,6 +115,7 @@ impl MgState {
         let su = unsafe { SharedMut::new(&mut self.u[lev]) };
         let sv = unsafe { SharedMut::new(&mut self.v) };
         let sr = unsafe { SharedMut::new(&mut self.r[lev]) };
+        let _phase = trace::scope("resid");
         resid::<SAFE>(&su, &sv, &sr, n, &self.a, scratch, team);
     }
 
@@ -128,6 +129,7 @@ impl MgState {
             let sf = unsafe { SharedMut::new(&mut hi[0]) };
             let sc = unsafe { SharedMut::new(&mut lo[lev - 1]) };
             let scratch = self.scratch.as_ref().expect("ensured above");
+            let _phase = trace::scope("rprj3");
             rprj3::<SAFE>(&sf, self.sizes[lev], &sc, self.sizes[lev - 1], scratch, team);
         }
         // Coarsest level: u = 0 then one smoothing step.
@@ -136,6 +138,7 @@ impl MgState {
             let su = unsafe { SharedMut::new(&mut self.u[0]) };
             let sr = unsafe { SharedMut::new(&mut self.r[0]) };
             let scratch = self.scratch.as_ref().expect("ensured above");
+            let _phase = trace::scope("psinv");
             zero3(&su, n, team);
             psinv::<SAFE>(&sr, &su, n, &self.c, scratch, team);
         }
@@ -148,6 +151,7 @@ impl MgState {
                 let sc = unsafe { SharedMut::new(&mut lo[lev - 1]) };
                 let sf = unsafe { SharedMut::new(&mut hi[0]) };
                 let scratch = self.scratch.as_ref().expect("ensured above");
+                let _phase = trace::scope("interp");
                 zero3(&sf, n, team);
                 interp::<SAFE>(&sc, nc, &sf, n, scratch, team);
             }
@@ -157,7 +161,11 @@ impl MgState {
                 // In-place r = r - A u: v aliases r (see SharedMut::alias).
                 let sv = unsafe { sr.alias() };
                 let scratch = self.scratch.as_ref().expect("ensured above");
-                resid::<SAFE>(&su, &sv, &sr, n, &self.a, scratch, team);
+                {
+                    let _phase = trace::scope("resid");
+                    resid::<SAFE>(&su, &sv, &sr, n, &self.a, scratch, team);
+                }
+                let _phase = trace::scope("psinv");
                 psinv::<SAFE>(&sr, &su, n, &self.c, scratch, team);
             }
         }
@@ -171,12 +179,14 @@ impl MgState {
                 let sc = unsafe { SharedMut::new(&mut lo[lev - 1]) };
                 let sf = unsafe { SharedMut::new(&mut hi[0]) };
                 let scratch = self.scratch.as_ref().expect("ensured above");
+                let _phase = trace::scope("interp");
                 interp::<SAFE>(&sc, nc, &sf, n, scratch, team);
             }
             self.resid_finest::<SAFE>(team);
             let su = unsafe { SharedMut::new(&mut self.u[lev]) };
             let sr = unsafe { SharedMut::new(&mut self.r[lev]) };
             let scratch = self.scratch.as_ref().expect("ensured above");
+            let _phase = trace::scope("psinv");
             psinv::<SAFE>(&sr, &su, n, &self.c, scratch, team);
         }
     }
@@ -212,6 +222,9 @@ impl MgState {
         self.resid_finest::<SAFE>(team);
 
         self.reset();
+        // Timed section starts here: drop the warm-up cycle's spans so
+        // the profile covers exactly what `secs` covers.
+        trace::reset();
         let t0 = std::time::Instant::now();
         self.resid_finest::<SAFE>(team);
         let fin = self.lt - 1;
@@ -234,7 +247,10 @@ impl MgState {
             guard.end(it, &[&self.u[fin][..], &self.r[fin][..]], None);
             it += 1;
         }
-        let (rnm2, rnmu) = self.residual_norms::<SAFE>(team);
+        let (rnm2, rnmu) = {
+            let _phase = trace::scope("norm2");
+            self.residual_norms::<SAFE>(team)
+        };
         let secs = t0.elapsed().as_secs_f64();
         MgOutcome { rnm2, rnmu, secs, guard: guard.stats() }
     }
@@ -288,6 +304,7 @@ pub fn run_with_guard(
         recoveries: out.guard.recoveries,
         checkpoint_count: out.guard.checkpoint_count,
         checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
+        regions: Vec::new(),
     }
 }
 

@@ -44,6 +44,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use npb_core::trace::{self, SpanKind, TraceSession};
+
 use crate::partials::CachePadded;
 use crate::partition;
 use crate::partition::PartitionCache;
@@ -303,6 +305,11 @@ struct Inner {
     /// makes `fault_delay_ms` visible to the winning rank.
     fault: AtomicU64,
     fault_delay_ms: AtomicU64,
+    /// The `npb-trace` session workers record spans into, when tracing
+    /// is on. Read (one uncontended lock) at most once per region per
+    /// thread, and only after the global `trace::enabled()` bool says
+    /// tracing is live — the disabled hot path never touches it.
+    trace: Mutex<Option<Arc<TraceSession>>>,
 }
 
 // SAFETY: `task` is the only non-Sync field. The master writes it
@@ -440,12 +447,16 @@ pub struct Par<'t> {
     tid: usize,
     n: usize,
     team: Option<&'t Inner>,
+    /// Trace session captured once per region by the master (None when
+    /// tracing is off): barrier waits record their spin/park split on
+    /// this rank's lane through it.
+    trace: Option<&'t TraceSession>,
 }
 
 impl<'t> Par<'t> {
     /// Serial context: rank 0 of 1, barriers are no-ops.
     pub fn serial() -> Par<'static> {
-        Par { tid: 0, n: 1, team: None }
+        Par { tid: 0, n: 1, team: None, trace: None }
     }
 
     /// This thread's rank within the team.
@@ -530,24 +541,49 @@ impl<'t> Par<'t> {
                 inner.barrier_poisoned.load(Ordering::Acquire),
             )
         };
-        let ok = spin_wait(inner.spin_us.load(Ordering::Relaxed), probe).unwrap_or_else(|| {
-            // Park path; same SeqCst publish/re-check handshake as
-            // dispatch (see Inner::wait_for_dispatch).
-            let mut g = lock(&inner.barrier_park);
-            inner.barrier_parked.fetch_add(1, Ordering::SeqCst);
-            let ok = loop {
-                if let Some(ok) = released(
-                    inner.barrier_gen.load(Ordering::SeqCst),
-                    inner.barrier_poisoned.load(Ordering::SeqCst),
-                ) {
-                    break ok;
+        // When tracing, split the wait into its spin and park parts so
+        // the profile distinguishes burned-CPU waiting from parked
+        // waiting (the paper's `wait()` cost). `self.trace` is None when
+        // tracing is off, so the disabled path reads no clock.
+        let tr = self.trace.map(|s| (s, s.current_region(), s.now()));
+        let ok = match spin_wait(inner.spin_us.load(Ordering::Relaxed), probe) {
+            Some(ok) => {
+                if let Some((s, region, t0)) = tr {
+                    // SAFETY: this thread is rank `tid` of the region,
+                    // sole writer of its own lane.
+                    unsafe { s.record(self.tid, region, SpanKind::BarrierSpin, t0, s.now()) };
                 }
-                g = inner.barrier_cv.wait(g).unwrap_or_else(|e| e.into_inner());
-            };
-            inner.barrier_parked.fetch_sub(1, Ordering::Relaxed);
-            drop(g);
-            ok
-        });
+                ok
+            }
+            None => {
+                let park_t0 = tr.map(|(s, region, t0)| {
+                    let now = s.now();
+                    // SAFETY: as above — rank-owned lane.
+                    unsafe { s.record(self.tid, region, SpanKind::BarrierSpin, t0, now) };
+                    now
+                });
+                // Park path; same SeqCst publish/re-check handshake as
+                // dispatch (see Inner::wait_for_dispatch).
+                let mut g = lock(&inner.barrier_park);
+                inner.barrier_parked.fetch_add(1, Ordering::SeqCst);
+                let ok = loop {
+                    if let Some(ok) = released(
+                        inner.barrier_gen.load(Ordering::SeqCst),
+                        inner.barrier_poisoned.load(Ordering::SeqCst),
+                    ) {
+                        break ok;
+                    }
+                    g = inner.barrier_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                };
+                inner.barrier_parked.fetch_sub(1, Ordering::Relaxed);
+                drop(g);
+                if let (Some((s, region, _)), Some(t0)) = (tr, park_t0) {
+                    // SAFETY: as above — rank-owned lane.
+                    unsafe { s.record(self.tid, region, SpanKind::BarrierPark, t0, s.now()) };
+                }
+                ok
+            }
+        };
         if !ok {
             std::panic::panic_any(BarrierPoisoned);
         }
@@ -560,7 +596,7 @@ impl<'t> Par<'t> {
     }
 }
 
-fn spawn_team(n: usize, spin_us: u64) -> TeamState {
+fn spawn_team(n: usize, spin_us: u64, trace: Option<Arc<TraceSession>>) -> TeamState {
     let inner = Arc::new(Inner {
         n,
         region_epoch: AtomicU64::new(0),
@@ -584,6 +620,7 @@ fn spawn_team(n: usize, spin_us: u64) -> TeamState {
         partitions: PartitionCache::new(n),
         fault: AtomicU64::new(0),
         fault_delay_ms: AtomicU64::new(0),
+        trace: Mutex::new(trace),
     });
     let handles = (0..n).map(|tid| spawn_worker(&inner, tid, 0)).collect();
     TeamState { inner, handles }
@@ -660,7 +697,7 @@ impl Team {
             }),
             Err(_) => DEFAULT_SPIN_US,
         };
-        let state = spawn_team(n, spin_us);
+        let state = spawn_team(n, spin_us, None);
         let inner_addr = Arc::as_ptr(&state.inner) as usize;
         Team {
             state: Mutex::new(state),
@@ -695,6 +732,15 @@ impl Team {
     /// The team's current spin budget in microseconds.
     pub fn spin_us(&self) -> u64 {
         self.spin_us.load(Ordering::Relaxed)
+    }
+
+    /// Attach (or detach, with `None`) an `npb-trace` session: while set
+    /// *and* the global `trace::enabled()` switch is on, workers record
+    /// dispatch waits, region bodies and barrier spin/park splits on
+    /// their per-rank lanes. The handle survives team healing and
+    /// rebuilds. Costs nothing per region when tracing is disabled.
+    pub fn set_trace(&self, session: Option<Arc<TraceSession>>) {
+        *lock(&lock(&self.state).inner.trace) = session;
     }
 
     /// Set (or disable, with `None`) the watchdog on the master's wait
@@ -811,6 +857,11 @@ impl Team {
         inner.barrier_poisoned.store(false, Ordering::Relaxed);
         lock(&inner.panicked).clear();
 
+        // Capture the trace session once per region (one uncontended
+        // lock, and only when the global switch is on): every rank's
+        // `Par` borrows this clone for barrier spans.
+        let trace_session = if trace::enabled() { lock(&inner.trace).clone() } else { None };
+
         // SAFETY: `Inner` is kept alive past this unbounded borrow by the
         // Arc each worker thread holds.
         let inner_ref: &'static Inner = unsafe { &*Arc::as_ptr(&inner) };
@@ -826,7 +877,7 @@ impl Team {
                     std::thread::park();
                 }
             }
-            f(Par { tid, n, team: Some(inner_ref) });
+            f(Par { tid, n, team: Some(inner_ref), trace: trace_session.as_deref() });
         });
         let obj: &(dyn Fn(usize) + Sync) = &*wrapper;
         // SAFETY: we erase the lifetime of `obj`; the master does not
@@ -903,6 +954,10 @@ impl Team {
                                     "npb region watchdog: timeout after {timeout_ms} ms; \
                                      ranks {stuck:?} never arrived; terminating"
                                 );
+                                // Last chance to get the profile out:
+                                // flush a truncated trace dump so the
+                                // hang is diagnosable post-mortem.
+                                trace::emergency_dump();
                                 std::process::exit(WATCHDOG_EXIT_CODE);
                             }
                             // Unsafe abandoning mode (the caller promised
@@ -924,8 +979,9 @@ impl Team {
                             };
                             // Abandon the old team wholesale (dropping
                             // the handles detaches the threads) and
-                            // start fresh.
-                            *st = spawn_team(width, self.spin_us.load(Ordering::Relaxed));
+                            // start fresh, carrying the trace handle.
+                            let trace = lock(&inner.trace).clone();
+                            *st = spawn_team(width, self.spin_us.load(Ordering::Relaxed), trace);
                             self.inner_addr
                                 .store(Arc::as_ptr(&st.inner) as usize, Ordering::Relaxed);
                             self.width.store(width, Ordering::Relaxed);
@@ -969,7 +1025,8 @@ impl Team {
             for h in st.handles.drain(..) {
                 let _ = h.join();
             }
-            *st = spawn_team(width, spin_us);
+            let trace = lock(&st.inner.trace).clone();
+            *st = spawn_team(width, spin_us, trace);
             self.inner_addr.store(Arc::as_ptr(&st.inner) as usize, Ordering::Relaxed);
             self.width.store(width, Ordering::Relaxed);
             return;
@@ -1015,20 +1072,44 @@ impl Drop for Team {
 fn worker_loop(inner: &Inner, tid: usize, initial_epoch: u64) {
     let mut seen = initial_epoch;
     loop {
+        // Tracing is one Relaxed bool when off; when on, stamp the wait
+        // start so the dispatch latency becomes a span.
+        let wait_t0 = trace::enabled().then(Instant::now);
         // Blocked state: spin on the region epoch, then park.
         let epoch = match inner.wait_for_dispatch(seen) {
             Dispatch::Shutdown => return,
             Dispatch::Region(e) => e,
         };
         seen = epoch;
+        // One uncontended lock per region, and only while tracing is on.
+        let session = if trace::enabled() { lock(&inner.trace).clone() } else { None };
+        if let (Some(s), Some(t0)) = (session.as_deref(), wait_t0) {
+            // The master enters the phase scope before dispatching, so
+            // `current_region` names the region this wait led into.
+            let region = s.current_region();
+            // SAFETY: this thread is the sole writer of rank `tid`'s lane.
+            unsafe { s.record(tid, region, SpanKind::Dispatch, s.ns_since_epoch(t0), s.now()) };
+        }
         // SAFETY: the task slot was written before the epoch bump our
         // acquire load observed, and is not cleared until this rank
         // reports completion below.
         let task = unsafe { *inner.task.get() }.expect("dispatched without a task");
         // Runnable state: execute the region body.
+        let body = session.as_deref().map(|s| (s.current_region(), s.now()));
         let res = catch_unwind(AssertUnwindSafe(|| {
             (unsafe { &*task.0 })(tid);
         }));
+        if let (Some(s), Some((region, t0))) = (session.as_deref(), body) {
+            // SAFETY: rank-owned lane, as above.
+            unsafe {
+                s.record(tid, region, SpanKind::Compute, t0, s.now());
+                if res.is_err() {
+                    // Partial spans stay in the lane; mark them so the
+                    // profile says this rank's region unwound.
+                    s.mark_poisoned(tid);
+                }
+            }
+        }
         let primary_panic = match &res {
             Ok(()) => false,
             // Collateral unwind out of a poisoned barrier: this rank is a
@@ -1077,6 +1158,11 @@ mod tests {
     use super::*;
     use crate::{Partials, SharedMut};
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Tests that install the process-global trace session take this
+    /// lock so the harness's parallel test threads cannot interleave
+    /// install/uninstall (and cross-record into each other's sessions).
+    static TRACE_TESTS: Mutex<()> = Mutex::new(());
 
     /// Run the closure under both synchronization modes: the pure park
     /// path (`spin_us = 0`, the paper's wait/notify model) and a spin
@@ -1455,6 +1541,78 @@ mod tests {
             assert!(err.contains(&format!("{bad:?}")), "warning must name the value: {err}");
             assert!(err.contains("default"), "warning must state the fallback: {err}");
         }
+    }
+
+    #[test]
+    fn trace_records_dispatch_compute_and_barrier_spans_per_rank() {
+        // Run a traced region on a team and check every rank's lane got
+        // its compute span (and the waits were attributed to the named
+        // region). Installs the global session, so serialize with any
+        // other test doing the same.
+        let _g = lock(&TRACE_TESTS);
+        let session = TraceSession::new(4);
+        trace::install(Arc::clone(&session));
+        let team = Team::new(4);
+        team.set_trace(Some(Arc::clone(&session)));
+        {
+            let _scope = trace::scope("region_a");
+            team.exec(|p| {
+                std::thread::sleep(Duration::from_millis(2));
+                p.barrier();
+            });
+        }
+        team.set_trace(None);
+        trace::uninstall();
+        let sums = session.summarize();
+        let a = sums.iter().find(|r| r.name == "region_a").expect("named region summarized");
+        assert_eq!(a.rank_secs.len(), 4, "every rank recorded compute");
+        assert!(a.rank_secs.iter().all(|&s| s >= 0.002), "bodies slept 2ms: {:?}", a.rank_secs);
+        assert!(a.total_secs >= 0.002, "master scope covers the region");
+        assert_eq!(a.count, 1);
+        // 3 of 4 ranks wait at the barrier (the last arriver doesn't),
+        // and at least the dispatch wait of the region itself shows up.
+        let spans = session.spans();
+        assert!(spans.iter().any(|(_, s)| s.kind == SpanKind::Dispatch));
+        assert!(spans.iter().all(|(_, s)| s.end_ns >= s.start_ns));
+    }
+
+    #[test]
+    fn trace_marks_poisoned_ranks_and_keeps_partial_spans() {
+        let _g = lock(&TRACE_TESTS);
+        let session = TraceSession::new(2);
+        trace::install(Arc::clone(&session));
+        let team = Team::new(2);
+        team.set_trace(Some(Arc::clone(&session)));
+        let err = {
+            let _scope = trace::scope("doomed");
+            team.try_exec(|p| {
+                if p.tid() == 1 {
+                    panic!("die mid-region");
+                }
+            })
+            .unwrap_err()
+        };
+        team.set_trace(None);
+        trace::uninstall();
+        assert_eq!(err, RegionError::Panicked { tids: vec![1] });
+        assert_eq!(session.poisoned_ranks(), vec![1], "the unwound rank is marked");
+        // The surviving rank's compute span was still recorded.
+        let sums = session.summarize();
+        let d = sums.iter().find(|r| r.name == "doomed").expect("poisoned region summarized");
+        assert!(!d.rank_secs.is_empty());
+    }
+
+    #[test]
+    fn untraced_team_is_unaffected_by_global_session() {
+        // A session installed globally but not attached to this team must
+        // leave the team's lanes empty (teams opt in via set_trace).
+        let _g = lock(&TRACE_TESTS);
+        let session = TraceSession::new(2);
+        trace::install(Arc::clone(&session));
+        let team = Team::new(2);
+        team.exec(|p| p.barrier());
+        trace::uninstall();
+        assert!(session.spans().is_empty(), "no set_trace, no worker spans");
     }
 
     #[test]

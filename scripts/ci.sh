@@ -57,6 +57,32 @@ assert len(rows) == 6, rows  # 3 thread counts x {park, spin}
 assert all(r['fork_join_ns'] > 0 and r['barrier_ns'] > 0 for r in rows), rows
 "
 
+echo "== trace smoke (driver profile) =="
+# A traced CG run must verify (exit 0) and leave a profile naming every
+# CG phase; the folded export must be flamegraph-grammar lines.
+trace_json="$(mktemp -t npb-trace-ci.XXXXXX.json)"
+trace_folded="$(mktemp -t npb-trace-ci.XXXXXX.folded)"
+trace_manifest="$(mktemp -t npb-trace-suite-ci.XXXXXX.jsonl)"
+trap 'rm -f "$manifest" "$sync_json" "$trace_json" "$trace_folded" "$trace_manifest"' EXIT
+# Capture instead of piping into grep -q: an early-exiting reader would
+# SIGPIPE the still-printing binary and pipefail would abort the gate.
+trace_out="$(cargo run --release --bin npb -- cg --class S --trace "$trace_json" --json)"
+echo "$trace_out" | grep -q '"regions":\['
+grep -q '"name":"conj_grad"' "$trace_json"
+grep -q '"name":"power_step"' "$trace_json"
+cargo run --release --bin npb -- cg --class S --threads 2 \
+    --trace "$trace_folded" --trace-format folded
+grep -Eq '^conj_grad;compute [0-9]+$' "$trace_folded"
+
+echo "== trace smoke (suite scalability table) =="
+# One traced cell through the supervisor: the per-region profile must
+# ride the child's JSON record into the manifest, and the suite must
+# print the paper-style scalability table from those aggregates.
+suite_out="$(cargo run --release --bin npb-suite -- cg --class S --threads 2 \
+    --trace --manifest "$trace_manifest")"
+echo "$suite_out" | grep -q 'speedup'
+grep -q '"regions":\[' "$trace_manifest"
+
 echo "== spin-vs-park equivalence (explicit park path) =="
 # Pin the paper's pure wait/notify path via the environment so it never
 # bit-rots: the full consistency suite must pass with spinning disabled,

@@ -7,7 +7,7 @@
 //!           [--inject panic|delay|hang|nan|bitflip[:SEED]]
 //!           [--sdc-guard] [--checkpoint-every K] [--spin-us US]
 //!           [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]
-//!           [--manifest PATH] [--resume PATH] [--npb-bin PATH]
+//!           [--manifest PATH] [--resume PATH] [--npb-bin PATH] [--trace]
 //! ```
 //!
 //! Runs each (benchmark, class, style, threads) cell of the sweep as an
@@ -37,7 +37,12 @@
 //! * `--child-timeout-ms` forwards `--timeout` to children, arming
 //!   their in-process watchdog (exit 3) under the supervisor's deadline;
 //! * `--spin-us` forwards the team's hybrid spin-then-park budget to
-//!   every child (`0` = the pure park path, the paper's wait/notify).
+//!   every child (`0` = the pure park path, the paper's wait/notify);
+//! * `--trace` runs every child with the `npb-trace` span recorder: the
+//!   per-region profile rides each child's `--json` record into the
+//!   manifest's cell records, and the final summary prints a
+//!   paper-style scalability table (benchmark × threads → time,
+//!   speedup, efficiency, most imbalanced region).
 //!
 //! Exit codes: 0 every cell of the sweep verified; 1 any cell failed or
 //! was quarantined; 2 usage error.
@@ -47,7 +52,7 @@ use std::time::Duration;
 
 use npb::BENCHMARKS;
 use npb_core::{Class, Style};
-use npb_harness::manifest::{Cell, CellStatus, Manifest, ResumeState};
+use npb_harness::manifest::{Cell, CellOutcome, CellStatus, Manifest, ResumeState};
 use npb_harness::read_manifest;
 use npb_harness::supervisor::{run_sweep, SuiteConfig};
 use npb_runtime::{FaultKind, FaultPlan};
@@ -59,7 +64,7 @@ fn usage() -> ! {
          \x20         [--deadline-ms MS] [--retries N] [--inject {}[:SEED]]\n\
          \x20         [--sdc-guard] [--checkpoint-every K] [--spin-us US]\n\
          \x20         [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]\n\
-         \x20         [--manifest PATH] [--resume PATH] [--npb-bin PATH]",
+         \x20         [--manifest PATH] [--resume PATH] [--npb-bin PATH] [--trace]",
         BENCHMARKS.join("|"),
         FaultPlan::KINDS
     );
@@ -128,6 +133,7 @@ fn main() {
     let mut manifest_path: Option<PathBuf> = None;
     let mut resume_path: Option<PathBuf> = None;
     let mut npb_bin: Option<PathBuf> = None;
+    let mut trace = false;
 
     // Accept `--flag=value` as well as `--flag value`, like `npb`.
     let mut expanded: Vec<String> = Vec::new();
@@ -196,6 +202,7 @@ fn main() {
             "--manifest" => manifest_path = Some(PathBuf::from(val(&mut it))),
             "--resume" => resume_path = Some(PathBuf::from(val(&mut it))),
             "--npb-bin" => npb_bin = Some(PathBuf::from(val(&mut it))),
+            "--trace" => trace = true,
             _ => usage(),
         }
     }
@@ -271,6 +278,7 @@ fn main() {
         sdc_guard,
         checkpoint_every,
         spin_us,
+        trace,
         backoff_base_ms: backoff_ms,
         seed,
     };
@@ -326,7 +334,75 @@ fn main() {
         }
     }
 
+    print_scalability(&result.outcomes);
+
     if !result.all_verified() {
         std::process::exit(1);
+    }
+}
+
+/// The paper-style scalability table (Tables 2–6 shape): for each
+/// (benchmark, class, style) group of verified cells, time per width,
+/// speedup against the group's smallest width, parallel efficiency, and
+/// — when the sweep ran with `--trace` — the most imbalanced region of
+/// the verifying run.
+fn print_scalability(outcomes: &[CellOutcome]) {
+    let mut cells: Vec<&CellOutcome> = outcomes
+        .iter()
+        .filter(|o| o.status == CellStatus::Verified && o.time_secs.is_some())
+        .collect();
+    if cells.is_empty() {
+        return;
+    }
+    // Bench-major in the paper's table order, then class/style/width.
+    let bench_rank = |b: &str| BENCHMARKS.iter().position(|n| *n == b).unwrap_or(BENCHMARKS.len());
+    cells.sort_by(|a, b| {
+        (bench_rank(&a.cell.bench), a.cell.class, a.cell.style.label(), a.cell.threads).cmp(&(
+            bench_rank(&b.cell.bench),
+            b.cell.class,
+            b.cell.style.label(),
+            b.cell.threads,
+        ))
+    });
+    println!("\nScalability (speedup vs each group's smallest width):");
+    println!(
+        "{:<6} {:<5} {:<5} {:>7} {:>10} {:>10} {:>8} {:>6}  top imbalance",
+        "bench", "class", "style", "width", "time(s)", "Mop/s", "speedup", "eff%"
+    );
+    let mut base: Option<(f64, f64)> = None; // (time, width) of the group head
+    let mut group = None;
+    for o in &cells {
+        let key = (o.cell.bench.clone(), o.cell.class, o.cell.style);
+        let time = o.time_secs.unwrap_or(0.0);
+        // Serial (threads 0) and one worker are both width 1 for
+        // efficiency purposes.
+        let width = o.cell.threads.max(1) as f64;
+        if group.as_ref() != Some(&key) {
+            group = Some(key);
+            base = Some((time, width));
+        }
+        let (bt, bw) = base.unwrap_or((time, width));
+        // speedup(n) = T(base)·n_base / T(n): with base width 1 this is
+        // the classic T1/Tn, and the base row always reads n_base.
+        let speedup = if time > 0.0 { bt / time * bw } else { 0.0 };
+        let eff = if width > 0.0 { speedup / width * 100.0 } else { 0.0 };
+        let hot = o
+            .regions
+            .iter()
+            .max_by(|a, b| a.imbalance.total_cmp(&b.imbalance))
+            .map(|r| format!("{} ({:.2})", r.name, r.imbalance))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<6} {:<5} {:<5} {:>7} {:>10.4} {:>10.1} {:>8.2} {:>6.0}  {}",
+            o.cell.bench,
+            o.cell.class.to_string(),
+            o.cell.style.label(),
+            if o.cell.threads == 0 { "serial".to_string() } else { format!("{}t", o.cell.threads) },
+            time,
+            o.mops.unwrap_or(0.0),
+            speedup,
+            eff,
+            hot
+        );
     }
 }

@@ -5,6 +5,7 @@
 //!                 [--spin-us US] [--timeout MS]
 //!                 [--inject panic|delay|hang|nan|bitflip[:SEED]]
 //!                 [--retries N] [--sdc-guard] [--checkpoint-every K] [--json]
+//!                 [--trace PATH] [--trace-format json|folded]
 //! ```
 //!
 //! `--threads 0` (default) is the pure serial path. The class can be
@@ -44,6 +45,17 @@
 //!   Mop/s, time, attempt count) — the structured channel the
 //!   `npb-suite` supervisor parses instead of scraping banners.
 //!
+//! Observability:
+//!
+//! * `--trace PATH` turns on the `npb-trace` span recorder for the timed
+//!   section and writes the per-region profile to PATH after the run
+//!   (when `all` is selected, each benchmark overwrites the file in
+//!   turn). The banner and `--json` record also gain per-region times
+//!   and imbalance.
+//! * `--trace-format json|folded` picks the export: the default JSON
+//!   profile (regions + raw spans), or flamegraph-compatible collapsed
+//!   stacks (`region;kind <ns>` — feed to `flamegraph.pl`).
+//!
 //! Exit codes: 0 all benchmarks verified; 1 a benchmark failed
 //! verification or its region failed beyond the retry budget; 2 usage
 //! error; 3 the region watchdog fired.
@@ -52,14 +64,15 @@ use std::time::Duration;
 
 use npb::{
     parse_checkpoint_every, try_run_benchmark, Class, FaultPlan, GuardConfig, RunError, RunOptions,
-    Style, BENCHMARKS,
+    Style, TraceFormat, BENCHMARKS,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: npb <{}|all> [CLASS] [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
          \x20          [--spin-us US] [--timeout MS] [--inject {}[:SEED]] [--retries N]\n\
-         \x20          [--sdc-guard] [--checkpoint-every K] [--json]",
+         \x20          [--sdc-guard] [--checkpoint-every K] [--json]\n\
+         \x20          [--trace PATH] [--trace-format json|folded]",
         BENCHMARKS.join("|"),
         FaultPlan::KINDS
     );
@@ -97,6 +110,8 @@ fn main() {
     let mut retries = 0usize;
     let mut guard = GuardConfig::default();
     let mut json = false;
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut trace_format = TraceFormat::default();
 
     // Accept `--flag=value` as well as `--flag value`.
     let mut expanded: Vec<String> = Vec::new();
@@ -151,6 +166,13 @@ fn main() {
                 }
             },
             "--json" => json = true,
+            "--trace" => trace_path = Some(std::path::PathBuf::from(val(&mut it))),
+            "--trace-format" => {
+                trace_format = val(&mut it).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             // A bare non-flag argument is a positional problem class
             // (`npb cg S` reads as BENCH CLASS).
             other if !other.starts_with('-') => {
@@ -177,6 +199,8 @@ fn main() {
                 inject: inject.as_ref().filter(|_| attempt == 0),
                 guard,
                 spin_us,
+                trace: trace_path.as_deref(),
+                trace_format,
             };
             match try_run_benchmark(name, class, style, threads, &opts) {
                 Ok(report) => {

@@ -23,12 +23,14 @@
 //! persistent workers.
 
 pub use npb_core::guard::parse_checkpoint_every;
-pub use npb_core::{BenchReport, Class, GuardConfig, GuardStats, Style, Verified};
+pub use npb_core::trace::{self, TraceFormat, TraceSession};
+pub use npb_core::{BenchReport, Class, GuardConfig, GuardStats, RegionProfile, Style, Verified};
 pub use npb_runtime::{
     BarrierPoisoned, FailurePolicy, FaultKind, FaultPlan, InjectedFault, Par, Partials,
     RegionError, SharedMut, Team, WATCHDOG_EXIT_CODE,
 };
 
+use std::path::Path;
 use std::time::Duration;
 
 /// All benchmark names, in the paper's table order.
@@ -94,6 +96,12 @@ pub struct RunOptions<'p> {
     /// park path — the paper's wait/notify model. `None` keeps the
     /// team's own default. Ignored when `threads == 0` (no team).
     pub spin_us: Option<u64>,
+    /// Write an `npb-trace` profile of the timed section here
+    /// (`--trace`). Enables span tracing for the run; the report's
+    /// `regions` field is filled either way when a session is active.
+    pub trace: Option<&'p Path>,
+    /// Export format for `trace` (`--trace-format`, default JSON).
+    pub trace_format: TraceFormat,
 }
 
 /// Run one benchmark by name.
@@ -145,6 +153,28 @@ pub fn try_run_benchmark(
     if let Some(plan) = opts.inject {
         plan.arm(team.as_ref()).map_err(RunError::Config)?;
     }
+    // Tracing: an already-installed session (in-process tests install one
+    // around this call) is reused; otherwise a session is created only
+    // when an export path was requested, so plain runs stay zero-cost.
+    let pre_installed = trace::current();
+    let own_session = if opts.trace.is_some() && pre_installed.is_none() {
+        Some(TraceSession::new(threads.max(1)))
+    } else {
+        None
+    };
+    let session = pre_installed.or_else(|| own_session.clone());
+    if let Some(s) = &session {
+        s.set_meta(&name, &class.to_string(), threads);
+        if let Some(path) = opts.trace {
+            s.set_output(path, opts.trace_format);
+        }
+        if let Some(own) = &own_session {
+            trace::install(own.clone());
+        }
+        if let Some(t) = team.as_ref() {
+            t.set_trace(Some(s.clone()));
+        }
+    }
     let t = team.as_ref();
     // Kernels report region failure by panicking with a `RegionError`
     // payload (`Team::exec`); catch it here so the whole failure path —
@@ -161,10 +191,49 @@ pub fn try_run_benchmark(
         "EP" => npb_ep::run(class, style, t),
         _ => unreachable!("validated against BENCHMARKS above"),
     }));
+    // Detach the session from the team and the global slot before
+    // reporting, whatever happened inside the region.
+    if let Some(t) = team.as_ref() {
+        t.set_trace(None);
+    }
+    if own_session.is_some() {
+        trace::uninstall();
+    }
     match result {
-        Ok(report) => Ok(report),
+        Ok(mut report) => {
+            if let Some(s) = &session {
+                s.set_wall_secs(report.time_secs);
+                report.regions = s
+                    .summarize()
+                    .iter()
+                    .map(|r| RegionProfile {
+                        name: r.name.clone(),
+                        secs: r.total_secs,
+                        imbalance: r.imbalance(),
+                    })
+                    .collect();
+                if let Some(path) = opts.trace {
+                    s.write_output(false).map_err(|e| {
+                        RunError::Config(format!(
+                            "cannot write trace profile {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                }
+            }
+            Ok(report)
+        }
         Err(payload) => match payload.downcast::<RegionError>() {
-            Ok(region) => Err(RunError::Region(*region)),
+            Ok(region) => {
+                // Flush what the recorder saw before the failure: the
+                // partial profile (poisoned ranks and all) is exactly
+                // what a post-mortem needs. Best effort — the region
+                // error is the headline, not a write failure here.
+                if let (Some(s), Some(_)) = (&session, opts.trace) {
+                    let _ = s.write_output(false);
+                }
+                Err(RunError::Region(*region))
+            }
             Err(other) => std::panic::resume_unwind(other),
         },
     }

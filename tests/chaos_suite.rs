@@ -16,6 +16,7 @@ use npb::{
     try_run_benchmark, Class, FaultKind, FaultPlan, GuardConfig, RegionError, RunError, RunOptions,
     Style, Team, Verified,
 };
+use npb_harness::json::Json;
 
 /// Run `f` on a helper thread; fail (instead of deadlocking the whole
 /// suite) if it does not complete within `secs`.
@@ -289,6 +290,97 @@ fn driver_watchdog_timeout_terminates_with_watchdog_exit_code() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(npb::WATCHDOG_EXIT_CODE), "stderr: {stderr}");
     assert!(stderr.contains("never arrived"), "stderr: {stderr}");
+}
+
+// ---- chaos meets observability (trace under failure) -----------------
+
+#[test]
+fn panic_poisoned_region_flushes_partial_spans_with_poisoned_marker() {
+    // The recorder must not lose what it saw before the failure: when a
+    // rank's region body unwinds, the driver still flushes the profile,
+    // with the unwound rank marked poisoned and the surviving ranks'
+    // partial spans intact. Subprocess, so the trace session is private.
+    let path = std::env::temp_dir().join(format!("npb-chaos-poisoned-{}.json", std::process::id()));
+    let out = npb(&[
+        "cg",
+        "--class",
+        "S",
+        "--threads",
+        "2",
+        "--inject",
+        "panic:3",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "injected panic must fail the run: {stderr}");
+    let text = std::fs::read_to_string(&path).expect("partial profile must still be written");
+    std::fs::remove_file(&path).ok();
+    let v = Json::parse(text.trim()).expect("profile of a failed run still parses");
+    let Some(Json::Arr(poisoned)) = v.get("poisoned_ranks") else { panic!("poisoned_ranks") };
+    assert!(!poisoned.is_empty(), "the unwound rank must be marked poisoned: {text}");
+    let Some(Json::Arr(spans)) = v.get("spans") else { panic!("spans array") };
+    assert!(!spans.is_empty(), "partial spans from before the panic must be flushed");
+}
+
+#[test]
+fn driver_watchdog_termination_leaves_a_parseable_truncated_profile() {
+    // The watchdog cannot unwind a wedged rank, so it terminates the
+    // process — but first it emergency-flushes the trace, giving a
+    // post-mortem profile of everything up to the hang.
+    let path = std::env::temp_dir().join(format!("npb-chaos-watchdog-{}.json", std::process::id()));
+    let out = npb(&[
+        "ep",
+        "--class",
+        "S",
+        "--threads",
+        "2",
+        "--inject",
+        "hang:1",
+        "--timeout",
+        "500",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(npb::WATCHDOG_EXIT_CODE), "stderr: {stderr}");
+    let text = std::fs::read_to_string(&path).expect("emergency dump must be written");
+    std::fs::remove_file(&path).ok();
+    let v = Json::parse(text.trim()).expect("truncated profile still parses");
+    assert_eq!(v.get("truncated"), Some(&Json::Bool(true)), "profile: {text}");
+    assert_eq!(v.get_str("bench"), Some("EP"));
+}
+
+#[test]
+fn driver_bitflip_rollback_is_recorded_as_a_trace_span() {
+    // A guarded run that detects corruption and rolls back must show
+    // that recovery in the profile: rollback time is real wall clock.
+    let path = std::env::temp_dir().join(format!("npb-chaos-rollback-{}.json", std::process::id()));
+    let out = npb(&[
+        "cg",
+        "--class",
+        "S",
+        "--inject",
+        "bitflip:42",
+        "--sdc-guard",
+        "--checkpoint-every",
+        "2",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "guarded run must recover and verify: {stderr}");
+    let text = std::fs::read_to_string(&path).expect("profile written");
+    std::fs::remove_file(&path).ok();
+    let v = Json::parse(text.trim()).expect("profile parses");
+    let Some(Json::Arr(spans)) = v.get("spans") else { panic!("spans array") };
+    assert!(
+        spans.iter().any(|sp| sp.get_str("kind") == Some("rollback")),
+        "a rollback span must be recorded"
+    );
+    let Some(Json::Arr(regions)) = v.get("regions") else { panic!("regions array") };
+    let rollbacks: f64 = regions.iter().filter_map(|r| r.get_num("rollbacks")).sum();
+    assert!(rollbacks >= 1.0, "region aggregates must count the rollback");
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! bitwise at any thread count; the reduction-carrying kernels (CG, EP,
 //! MG's final norm) stay within the NPB verification tolerance.
 
-use npb::{Class, Style, Team};
+use npb::{trace, Class, Style, Team, TraceFormat, TraceSession};
 
 #[test]
 fn bt_norms_bitwise_across_team_sizes() {
@@ -150,6 +150,75 @@ fn spin_and_park_paths_are_bit_identical_for_every_benchmark() {
         assert_eq!(park.5, spin.5, "MG t{n}");
         assert_eq!(park.6, spin.6, "EP t{n}");
         assert!(park.7 && spin.7, "IS t{n}: both modes must verify");
+    }
+}
+
+/// Observability must be observation only: running every benchmark with
+/// the `npb-trace` span recorder off, on, and on-with-folded-export must
+/// produce bit-identical verification values at every team size — and
+/// leave the NPB random-number stream in exactly the same position (the
+/// recorder must never draw from or reseed the generator).
+#[test]
+fn tracing_off_on_and_folded_are_bit_identical_for_every_benchmark() {
+    let c = Class::S;
+    let s = Style::Opt;
+    for n in [0usize, 1, 2, 4] {
+        // Runs the whole suite, interleaving an explicit randlc stream
+        // so a recorder that touched the generator would shift the
+        // final seed. Returns every verification quantity + that seed.
+        let run_all = |traced: Option<TraceFormat>| {
+            let team = (n > 0).then(|| Team::new(n));
+            let t = team.as_ref();
+            let session = traced.map(|_| {
+                let session = TraceSession::new(n.max(1));
+                trace::install(session.clone());
+                if let Some(team) = t {
+                    team.set_trace(Some(session.clone()));
+                }
+                session
+            });
+            let mut seed = npb_core::SEED_DEFAULT;
+            let a = 1_220_703_125.0;
+            let bt = npb_bt::run_raw(c, s, t);
+            npb_core::randlc(&mut seed, a);
+            let sp = npb_sp::run_raw(c, s, t);
+            let lu = npb_lu::run_raw(c, s, t);
+            npb_core::randlc(&mut seed, a);
+            let ft = npb_ft::run_raw(c, s, t);
+            let cg = npb_cg::run_raw(c, s, t);
+            let mg = npb_mg::run_raw(c, s, t);
+            let ep = npb_ep::run_raw(c, s, t);
+            let is_ok = npb_is::run(c, s, t).verified.is_success();
+            npb_core::randlc(&mut seed, a);
+            if let Some(session) = session {
+                // Exercise the export path too: rendering must also
+                // leave the numerics (trivially) and the stream alone.
+                match traced {
+                    Some(TraceFormat::Folded) => drop(session.render_folded()),
+                    _ => drop(session.render_json_profile(false)),
+                }
+                if let Some(team) = t {
+                    team.set_trace(None);
+                }
+                trace::uninstall();
+            }
+            (
+                (bt.xcr, bt.xce),
+                (sp.xcr, sp.xce),
+                (lu.xcr, lu.xce, lu.xci),
+                ft.sums,
+                cg.zeta,
+                mg.rnm2,
+                (ep.sx, ep.sy, ep.q),
+                is_ok,
+                seed.to_bits(),
+            )
+        };
+        let off = run_all(None);
+        let json = run_all(Some(TraceFormat::Json));
+        let folded = run_all(Some(TraceFormat::Folded));
+        assert_eq!(off, json, "tracing on (json) perturbed a result at t{n}");
+        assert_eq!(off, folded, "tracing on (folded) perturbed a result at t{n}");
     }
 }
 
