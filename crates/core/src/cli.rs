@@ -1,0 +1,50 @@
+//! Shared command-line plumbing for the workspace's binaries.
+//!
+//! Four binaries (`npb`, `npb-suite`, `npbd`, `npb-attack`) accept the
+//! same flag grammar — every value flag can be spelled `--flag value`
+//! or `--flag=value` — and before this module each binary carried its
+//! own copy of the expansion loop. The grammar lives here once so the
+//! spellings cannot drift apart.
+
+/// Expand `--flag=value` spellings into the canonical `--flag value`
+/// pair form, leaving everything else (positionals, bare flags, values)
+/// untouched. Only arguments that start with `--` are split; a stray
+/// `=` inside a positional (or a value) survives intact.
+pub fn expand_flag_args<S: AsRef<str>>(args: &[S]) -> Vec<String> {
+    let mut expanded = Vec::with_capacity(args.len());
+    for a in args {
+        let a = a.as_ref();
+        match a.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => {
+                expanded.push(f.to_string());
+                expanded.push(v.to_string());
+            }
+            _ => expanded.push(a.to_string()),
+        }
+    }
+    expanded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_only_double_dash_flags() {
+        let args = ["cg", "--class=S", "--threads", "4", "a=b", "-s=x"];
+        assert_eq!(
+            expand_flag_args(&args),
+            vec!["cg", "--class", "S", "--threads", "4", "a=b", "-s=x"]
+        );
+    }
+
+    #[test]
+    fn value_keeps_embedded_equals() {
+        assert_eq!(expand_flag_args(&["--manifest=a=b.jsonl"]), vec!["--manifest", "a=b.jsonl"]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(expand_flag_args::<&str>(&[]).is_empty());
+    }
+}

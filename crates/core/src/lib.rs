@@ -27,6 +27,7 @@
 
 pub mod access;
 pub mod class;
+pub mod cli;
 pub mod guard;
 pub mod random;
 pub mod report;
@@ -36,6 +37,7 @@ pub mod verify;
 
 pub use access::{fmadd, ld, st, Style};
 pub use class::Class;
+pub use cli::expand_flag_args;
 pub use guard::{
     arm_bitflip, bitflip_armed, ArmedBitFlip, GuardAction, GuardConfig, GuardStats, IterationGuard,
     SdcGuard,
@@ -45,3 +47,10 @@ pub use report::{BenchReport, RegionProfile};
 pub use timer::{RegionRegistry, RegionStats, RegionTimerError, Timers};
 pub use trace::{SpanKind, TraceFormat, TraceSession};
 pub use verify::{arm_nan_corruption, nan_corruption_armed, rel_err_ok, Verified};
+
+/// All benchmark names, in the paper's table order. This lives in the
+/// substrate crate (rather than the root `npb` crate that can actually
+/// *run* them) so that pure-coordination layers — the suite supervisor,
+/// the `npbd` service's admission control — can validate names without
+/// linking every kernel.
+pub const BENCHMARKS: [&str; 8] = ["BT", "SP", "LU", "FT", "IS", "CG", "MG", "EP"];

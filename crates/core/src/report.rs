@@ -185,6 +185,31 @@ impl BenchReport {
         json
     }
 
+    /// The partial record a driver emits when a termination signal
+    /// (SIGTERM/SIGINT) interrupts a run before the benchmark could
+    /// report: the identity of the in-progress run plus
+    /// `"interrupted":true`, so downstream readers (the suite
+    /// supervisor, the `npbd` journal, log scrapers) can tell a
+    /// deliberate shutdown from a silent death. This is the same flush
+    /// shape the daemon's graceful drain journals for its own jobs.
+    pub fn interrupted_json(
+        name: &str,
+        class: Class,
+        style: Style,
+        threads: usize,
+        signal: i32,
+    ) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"class\":\"{}\",\"style\":\"{}\",\"threads\":{},\
+             \"interrupted\":true,\"signal\":{}}}",
+            json_escape(name),
+            json_escape(&class.to_string()),
+            json_escape(style.label()),
+            threads,
+            signal
+        )
+    }
+
     /// One-line CSV-ish record for harness output.
     pub fn row(&self) -> String {
         format!(
@@ -305,6 +330,15 @@ mod tests {
         assert!(r.to_json(1).contains("\"verified\":\"failure\""));
         r.verified = Verified::NotPerformed;
         assert!(r.to_json(1).contains("\"verified\":\"not-performed\""));
+    }
+
+    #[test]
+    fn interrupted_record_is_stable_and_marked() {
+        assert_eq!(
+            BenchReport::interrupted_json("CG", Class::S, Style::Opt, 4, 15),
+            "{\"name\":\"CG\",\"class\":\"S\",\"style\":\"opt\",\"threads\":4,\
+             \"interrupted\":true,\"signal\":15}"
+        );
     }
 
     #[test]

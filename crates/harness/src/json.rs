@@ -198,19 +198,37 @@ impl<'a> Parser<'a> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
-                            self.pos += 4;
-                            // The journal writer never emits surrogate
-                            // pairs (json_escape only \u-escapes control
-                            // characters), so a lone surrogate is malformed.
-                            let ch = char::from_u32(code)
-                                .ok_or_else(|| format!("non-scalar \\u escape {hex:?}"))?;
+                            let code = self.hex4()?;
+                            // Surrogate pairs (😀): our own
+                            // writer only \u-escapes control characters,
+                            // but journals may be hand-edited or come
+                            // from foreign tooling, and a reader that
+                            // chokes on a standard escape would count a
+                            // perfectly good record as torn. A *lone*
+                            // surrogate is still malformed — that is the
+                            // power-loss truncation shape `--resume`
+                            // must detect, not decode.
+                            let ch = if (0xD800..=0xDBFF).contains(&code) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err("high surrogate without low surrogate".to_string());
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err("high surrogate without \\u escape".to_string());
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate followed by non-low-surrogate {low:#06x}"
+                                    ));
+                                }
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(scalar).expect("paired surrogates form a scalar")
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("lone surrogate \\u{code:04x}"))?
+                            };
                             out.push(ch);
                         }
                         other => return Err(format!("bad escape \\{}", other as char)),
@@ -230,6 +248,18 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Four hex digits of a `\uXXXX` escape (cursor past them on
+    /// success). A truncation anywhere inside the digits — the shape a
+    /// power loss mid-append leaves — is a loud error, so the torn line
+    /// is skipped on resume rather than half-decoded.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self.bytes.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -306,6 +336,31 @@ mod tests {
             assert!(Json::parse(&full[..cut]).is_err(), "prefix {cut} parsed");
         }
         assert!(Json::parse(full).is_ok());
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs_and_rejects_lone_surrogates() {
+        // A foreign writer may escape astral-plane characters the
+        // standard way; the reader must decode the pair, not tear.
+        let v = Json::parse(r#"{"s":"\ud83d\ude00 ok"}"#).unwrap();
+        assert_eq!(v.get_str("s"), Some("\u{1F600} ok"));
+        // Lone surrogates in either order are malformed.
+        assert!(Json::parse(r#"{"s":"\ud83d"}"#).is_err());
+        assert!(Json::parse(r#"{"s":"\ud83d x"}"#).is_err());
+        assert!(Json::parse(r#"{"s":"\ude00"}"#).is_err());
+        assert!(Json::parse(r#"{"s":"\ud83dA"}"#).is_err());
+    }
+
+    #[test]
+    fn truncation_inside_a_unicode_escape_is_torn_not_poisonous() {
+        // The power-loss shape: the line ends mid-\uXXXX. Every prefix
+        // must be a clean parse error (counted as a torn line on
+        // resume), never a panic or a half-decoded string.
+        let full = r#"{"s":"pre\u00e9\ud83d\ude00post"}"#;
+        for cut in 1..full.len() - 1 {
+            assert!(Json::parse(&full[..cut]).is_err(), "prefix {cut} parsed");
+        }
+        assert_eq!(Json::parse(full).unwrap().get_str("s"), Some("pre\u{e9}\u{1F600}post"));
     }
 
     #[test]

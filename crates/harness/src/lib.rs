@@ -37,4 +37,4 @@ pub use backoff::Backoff;
 pub use json::Json;
 pub use manifest::{read_manifest, Cell, CellOutcome, CellStatus, Manifest, ResumeState};
 pub use outcome::{classify_exit, AttemptOutcome, ChildReport, Disposition};
-pub use supervisor::{ladder, run_sweep, SuiteConfig, SweepResult};
+pub use supervisor::{ladder, run_cell, run_sweep, SuiteConfig, SweepResult};

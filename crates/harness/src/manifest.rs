@@ -152,12 +152,17 @@ impl Manifest {
     }
 
     fn line(&mut self, record: String) -> std::io::Result<()> {
-        // One write, one flush: the line is in the kernel's hands before
-        // the supervisor advances, so SIGKILLing the supervisor cannot
-        // lose an acknowledged record.
+        // One write, one fsync: the line is durable before the
+        // supervisor advances, so neither SIGKILLing the supervisor nor
+        // a power-loss-shaped machine death can lose an acknowledged
+        // record. (flush alone only reaches the kernel's page cache;
+        // sync_data pushes the appended bytes to the device, which is
+        // the durability the `npbd` job journal's "no accepted job is
+        // ever lost" contract needs.)
         self.file.write_all(record.as_bytes())?;
         self.file.write_all(b"\n")?;
-        self.file.flush()
+        self.file.flush()?;
+        self.file.sync_data()
     }
 
     /// Journal the start of a supervisor invocation.

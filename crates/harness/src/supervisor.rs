@@ -63,6 +63,12 @@ pub struct SuiteConfig {
     /// per-region profile then rides the child's `--json` record into
     /// the manifest's cell records, feeding the scalability table.
     pub trace: bool,
+    /// Walk the degradation ladder (threads N → N/2 → … → serial) when
+    /// region-class failures exhaust a rung's retries. `false` pins the
+    /// cell at its requested width — the per-job fault-policy knob the
+    /// `npbd` service exposes, for callers who would rather see a fast
+    /// terminal failure than a degraded-width success.
+    pub degrade: bool,
     /// Base of the exponential backoff (0 disables sleeping).
     pub backoff_base_ms: u64,
     /// Sweep seed for the deterministic backoff jitter.
@@ -161,8 +167,14 @@ fn width_label(threads: usize) -> String {
     }
 }
 
-/// Drive one cell to a terminal outcome: retries, ladder, quarantine.
-fn run_cell(
+/// Drive one cell to a terminal outcome: retries, ladder (unless
+/// `cfg.degrade` is off), quarantine.
+///
+/// Public because it is the per-job execution primitive: the `npbd`
+/// service supervises each accepted job through exactly this path (its
+/// own journal rides on the returned [`CellOutcome`], so it passes
+/// `manifest: None`), while `npb-suite` calls it via [`run_sweep`].
+pub fn run_cell(
     cfg: &SuiteConfig,
     cell: &Cell,
     cell_index: u64,
@@ -171,7 +183,8 @@ fn run_cell(
     let mut backoff = Backoff::new(cfg.seed, cell_index, cfg.backoff_base_ms);
     let mut attempts = 0u64;
     let mut kills = 0u64;
-    for rung in ladder(cell.threads) {
+    let rungs = if cfg.degrade { ladder(cell.threads) } else { vec![cell.threads] };
+    for rung in rungs {
         if rung > cell.threads {
             continue; // unreachable by construction, but cheap to guard
         }
@@ -269,9 +282,10 @@ fn run_cell(
             }
         }
     }
-    // The whole ladder — down to serial — failed on region-class
-    // outcomes: park the cell. It is reported in the summary and the
-    // manifest, never silently dropped.
+    // The whole ladder — down to serial, or just the requested width
+    // when degradation is off — failed on region-class outcomes: park
+    // the cell. It is reported in the summary and the manifest, never
+    // silently dropped.
     finish(
         manifest,
         CellOutcome {
@@ -279,7 +293,7 @@ fn run_cell(
             status: CellStatus::Quarantined,
             attempts,
             kills,
-            final_threads: 0,
+            final_threads: if cfg.degrade { 0 } else { cell.threads },
             mops: None,
             time_secs: None,
             recoveries: 0,
@@ -466,6 +480,7 @@ mod tests {
             checkpoint_every: None,
             spin_us: None,
             trace: false,
+            degrade: true,
             backoff_base_ms: 0,
             seed: 1,
         }
@@ -536,6 +551,23 @@ mod tests {
         assert_eq!(out.attempts, 3);
         assert_eq!(out.kills, 3);
         assert_eq!(out.final_threads, 0, "quarantine happens only after the serial rung");
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn degrade_off_pins_the_requested_width() {
+        // The per-job fault-policy knob: with the ladder off, a
+        // region-class failure burns its retries at the requested width
+        // and goes straight to quarantine — no degraded-width attempts.
+        let bin = stub("nodegrade", "exit 1");
+        let mut c = cfg(bin.to_str().unwrap());
+        c.degrade = false;
+        c.retries = 1;
+        let out = run_cell(&c, &cell(4), 0, None).unwrap();
+        assert_eq!(out.status, CellStatus::Quarantined);
+        assert_eq!(out.attempts, 2, "retries at the pinned width only");
+        assert_eq!(out.final_threads, 4, "no ladder descent happened");
         std::fs::remove_file(&bin).ok();
     }
 

@@ -1,0 +1,344 @@
+//! The crash-safe job journal: npbd's source of truth.
+//!
+//! Every job transition is appended as one JSONL record and fsync'd
+//! before the daemon acts on it (accept before replying `accepted`,
+//! terminal before replying `done`). The contract this buys: **no
+//! accepted job is ever lost**. SIGKILL the daemon at any instant,
+//! restart with `--resume`, and every journaled job still reaches a
+//! terminal disposition — either its `done` record is already on disk,
+//! or recovery re-enqueues it.
+//!
+//! Records (`"ev"` selects):
+//!
+//! * `daemon`   — daemon start: pid, capacity, workers (provenance).
+//! * `accepted` — job admitted; carries the *full spec* so recovery can
+//!   re-run it without any other state.
+//! * `started`  — a worker began executing the job (diagnostic; a
+//!   started-but-not-done job is re-run from scratch on resume, which
+//!   is safe because jobs are pure).
+//! * `done`     — terminal disposition + metrics; `verified` records
+//!   also re-seed the result cache on resume.
+//! * `drain`    — graceful drain began.
+//! * `shutdown` — clean exit; jobs after this line belong to a later
+//!   daemon incarnation in the same journal file.
+//!
+//! The reader mirrors the run manifest's torn-tail rule: a record is
+//! real only once its `\n` hit the disk, so a power-loss-truncated tail
+//! (including truncation *inside* a `\uXXXX` escape) is counted and
+//! skipped, never trusted.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use npb_harness::Json;
+
+use crate::cache::JobResult;
+use crate::proto::JobSpec;
+
+/// Append-only journal writer. One `write + flush + fsync` per record:
+/// a record the daemon acted on is a record that survives power loss.
+pub struct JobJournal {
+    file: File,
+    path: PathBuf,
+}
+
+impl JobJournal {
+    /// Open (creating or appending) the journal at `path`.
+    pub fn open(path: &Path) -> std::io::Result<JobJournal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JobJournal { file, path: path.to_path_buf() })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn line(&mut self, record: &str) -> std::io::Result<()> {
+        self.file.write_all(record.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    pub fn daemon(&mut self, pid: u32, capacity: u64, workers: usize) -> std::io::Result<()> {
+        self.line(&format!(
+            "{{\"ev\":\"daemon\",\"pid\":{pid},\"capacity\":{capacity},\"workers\":{workers}}}"
+        ))
+    }
+
+    pub fn accepted(&mut self, spec: &JobSpec, seq: u64) -> std::io::Result<()> {
+        self.line(&format!(
+            "{{\"ev\":\"accepted\",\"job\":\"{}\",\"seq\":{seq},{}}}",
+            spec.job_id(),
+            spec.json_fields()
+        ))
+    }
+
+    pub fn started(&mut self, job_id: &str) -> std::io::Result<()> {
+        self.line(&format!("{{\"ev\":\"started\",\"job\":\"{job_id}\"}}"))
+    }
+
+    pub fn done(&mut self, job_id: &str, result: &JobResult) -> std::io::Result<()> {
+        self.line(&format!("{{\"ev\":\"done\",\"job\":\"{job_id}\",{}}}", result.json_fields()))
+    }
+
+    pub fn drain(&mut self) -> std::io::Result<()> {
+        self.line("{\"ev\":\"drain\"}")
+    }
+
+    pub fn shutdown(&mut self, jobs_done: u64) -> std::io::Result<()> {
+        self.line(&format!("{{\"ev\":\"shutdown\",\"jobs_done\":{jobs_done}}}"))
+    }
+}
+
+/// What `--resume` recovers from a journal.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Accepted jobs with no terminal record, in acceptance order —
+    /// the work a crashed daemon still owes its clients.
+    pub pending: Vec<JobSpec>,
+    /// Verified terminal results, as `(canonical_key, result)` — the
+    /// cache seeds.
+    pub seeds: Vec<(String, JobResult)>,
+    /// Terminal records seen (across all incarnations in the file).
+    pub completed: u64,
+    /// Unparseable lines skipped (torn tail from a crash mid-write).
+    pub torn_lines: usize,
+    /// Whether the last incarnation exited via a `shutdown` record
+    /// (clean) — purely informational.
+    pub clean_shutdown: bool,
+}
+
+/// Read a journal back. Torn/unparseable lines are tolerated (counted,
+/// skipped); a missing file is an empty recovery, so `--resume` against
+/// a fresh path just starts fresh.
+pub fn recover(path: &Path) -> std::io::Result<Recovery> {
+    let text = match File::open(path) {
+        Ok(mut f) => {
+            // Raw-read so a crash mid-UTF-8 sequence is a torn line,
+            // not a hard error.
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Recovery::default()),
+        Err(e) => return Err(e),
+    };
+
+    let mut rec = Recovery::default();
+    // Acceptance order, keyed by job id; a `done` flips the slot to
+    // terminal. Jobs are identified by content address, so a re-accept
+    // of an already-terminal job (later incarnation, cache disabled)
+    // makes it pending again — last event wins.
+    let mut order: Vec<String> = Vec::new();
+    let mut specs: std::collections::HashMap<String, JobSpec> = std::collections::HashMap::new();
+    let mut open: std::collections::HashSet<String> = std::collections::HashSet::new();
+
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                rec.torn_lines += 1;
+                continue;
+            }
+        };
+        match v.get_str("ev") {
+            Some("accepted") => {
+                let (Some(id), Ok(spec)) = (v.get_str("job"), JobSpec::from_json(&v)) else {
+                    rec.torn_lines += 1;
+                    continue;
+                };
+                if !specs.contains_key(id) {
+                    order.push(id.to_string());
+                }
+                specs.insert(id.to_string(), spec);
+                open.insert(id.to_string());
+                rec.clean_shutdown = false;
+            }
+            Some("done") => {
+                let (Some(id), Some(result)) = (v.get_str("job"), JobResult::from_json(&v)) else {
+                    rec.torn_lines += 1;
+                    continue;
+                };
+                open.remove(id);
+                rec.completed += 1;
+                if result.verified() {
+                    if let Some(spec) = specs.get(id) {
+                        rec.seeds.push((spec.canonical_key(), result));
+                    }
+                }
+            }
+            Some("shutdown") => rec.clean_shutdown = true,
+            Some("daemon") | Some("started") | Some("drain") => {}
+            _ => rec.torn_lines += 1,
+        }
+    }
+
+    for id in &order {
+        if open.contains(id) {
+            rec.pending.push(specs[id].clone());
+        }
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::JobPolicy;
+    use npb_core::{Class, Style};
+    use std::fs;
+
+    fn spec(bench: &str, threads: usize) -> JobSpec {
+        JobSpec {
+            bench: bench.into(),
+            class: Class::S,
+            style: Style::Opt,
+            threads,
+            seed: 1,
+            policy: JobPolicy::default(),
+        }
+    }
+
+    fn result(disposition: &str) -> JobResult {
+        JobResult {
+            disposition: disposition.to_string(),
+            mops: Some(3.5),
+            time_secs: Some(0.1),
+            attempts: 1,
+            kills: 0,
+            recoveries: 0,
+            final_threads: 2,
+        }
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("npbd-journal-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn missing_journal_is_an_empty_recovery() {
+        let rec = recover(Path::new("/nonexistent/npbd.jsonl")).unwrap();
+        assert!(rec.pending.is_empty() && rec.seeds.is_empty());
+        assert_eq!(rec.torn_lines, 0);
+    }
+
+    #[test]
+    fn recovery_reenqueues_exactly_the_incomplete_jobs() {
+        let path = temp("pending");
+        let _ = fs::remove_file(&path);
+        let (a, b, c) = (spec("EP", 2), spec("CG", 2), spec("MG", 4));
+        {
+            let mut j = JobJournal::open(&path).unwrap();
+            j.daemon(1234, 8, 2).unwrap();
+            j.accepted(&a, 0).unwrap();
+            j.accepted(&b, 1).unwrap();
+            j.started(&a.job_id()).unwrap();
+            j.done(&a.job_id(), &result("verified")).unwrap();
+            j.accepted(&c, 2).unwrap();
+            j.started(&b.job_id()).unwrap();
+            // ...daemon SIGKILLed here: b started-not-done, c accepted.
+        }
+        let rec = recover(&path).unwrap();
+        assert_eq!(
+            rec.pending.iter().map(|s| s.bench.as_str()).collect::<Vec<_>>(),
+            vec!["CG", "MG"],
+            "incomplete jobs come back in acceptance order"
+        );
+        assert_eq!(rec.completed, 1);
+        assert_eq!(rec.seeds.len(), 1, "the verified job seeds the cache");
+        assert_eq!(rec.seeds[0].0, a.canonical_key());
+        assert!(!rec.clean_shutdown);
+        assert_eq!(rec.torn_lines, 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_results_do_not_seed_the_cache() {
+        let path = temp("failed");
+        let _ = fs::remove_file(&path);
+        let a = spec("EP", 2);
+        {
+            let mut j = JobJournal::open(&path).unwrap();
+            j.accepted(&a, 0).unwrap();
+            j.done(&a.job_id(), &result("quarantined")).unwrap();
+            j.shutdown(1).unwrap();
+        }
+        let rec = recover(&path).unwrap();
+        assert!(rec.pending.is_empty(), "terminal is terminal, even when failed");
+        assert!(rec.seeds.is_empty(), "only verified results are cache seeds");
+        assert!(rec.clean_shutdown);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_trusted() {
+        let path = temp("torn");
+        let _ = fs::remove_file(&path);
+        let (a, b) = (spec("EP", 2), spec("CG", 2));
+        {
+            let mut j = JobJournal::open(&path).unwrap();
+            j.accepted(&a, 0).unwrap();
+            j.accepted(&b, 1).unwrap();
+        }
+        // Simulate power loss mid-record: append a torn `done` for b.
+        let full = format!(
+            "{{\"ev\":\"done\",\"job\":\"{}\",{}}}",
+            b.job_id(),
+            result("verified").json_fields()
+        );
+        for cut in [full.len() / 3, full.len() - 2] {
+            let mut text = fs::read_to_string(&path).unwrap();
+            text.push_str(&full[..cut]);
+            fs::write(&path, &text).unwrap();
+            let rec = recover(&path).unwrap();
+            assert_eq!(rec.torn_lines, 1, "torn record at cut {cut} is counted");
+            assert_eq!(
+                rec.pending.len(),
+                2,
+                "a torn done must NOT mark the job terminal (cut {cut})"
+            );
+            // Restore the untorn journal for the next cut.
+            let clean: String = fs::read_to_string(&path)
+                .unwrap()
+                .lines()
+                .take(2)
+                .map(|l| format!("{l}\n"))
+                .collect();
+            fs::write(&path, clean).unwrap();
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_cycle_reaccept_then_done_converges() {
+        // The chaos-test invariant end-to-end: accept → crash → resume
+        // re-accepts → done. The job must end terminal, once.
+        let path = temp("cycle");
+        let _ = fs::remove_file(&path);
+        let a = spec("FT", 2);
+        {
+            let mut j = JobJournal::open(&path).unwrap();
+            j.accepted(&a, 0).unwrap();
+            // crash
+        }
+        {
+            let rec = recover(&path).unwrap();
+            assert_eq!(rec.pending.len(), 1);
+            let mut j = JobJournal::open(&path).unwrap();
+            j.daemon(5678, 8, 2).unwrap();
+            j.accepted(&rec.pending[0], 0).unwrap();
+            j.done(&rec.pending[0].job_id(), &result("verified")).unwrap();
+            j.shutdown(1).unwrap();
+        }
+        let rec = recover(&path).unwrap();
+        assert!(rec.pending.is_empty(), "the job reached a terminal disposition");
+        assert_eq!(rec.seeds.len(), 1);
+        assert!(rec.clean_shutdown);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,381 @@
+//! The `npbd` wire protocol: line-delimited JSON over a stream socket.
+//!
+//! One request per line, one or two response lines per request, UTF-8,
+//! `\n`-terminated — the same framing as the run manifest, parsed with
+//! the same hand-rolled [`Json`] reader (the workspace stays hermetic:
+//! no serde, no tokio). A connection may pipeline any number of
+//! requests; the daemon answers them in order.
+//!
+//! Requests (`"op"` selects):
+//!
+//! * `{"op":"submit", "bench":"CG", ...}` — run (or fetch) a benchmark
+//!   job. Replies `rejected`, or `accepted` followed by a terminal
+//!   `done`/`failed` line once the job finishes (`"wait":false` skips
+//!   the terminal line: fire-and-forget, the journal and the cache keep
+//!   the result).
+//! * `{"op":"stats"}` — queue/cache/counter snapshot.
+//! * `{"op":"ping"}` — liveness probe.
+//! * `{"op":"drain"}` — begin graceful drain, as if SIGTERMed.
+//!
+//! Backpressure is explicit: an over-capacity submit gets a one-line
+//! `{"status":"rejected","reason":"queue-full"}` reply *immediately*
+//! (the 429 of this protocol) instead of unbounded queueing.
+
+use std::fmt;
+
+use npb_core::report::json_escape;
+use npb_core::{Class, Style, BENCHMARKS};
+use npb_harness::Json;
+
+/// FNV-1a 64-bit — the content address of a job. Hermetic (no hash
+/// crates) and stable across runs/processes, which a journal that
+/// outlives the daemon requires.
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-job fault policy: every fault-tolerance knob the CLI exposes per
+/// *invocation*, carried per *request* instead. Part of the job's
+/// content address — two submissions with different policies are
+/// different jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPolicy {
+    /// Wall-clock budget for one child attempt; `None` = the daemon's
+    /// default deadline.
+    pub deadline_ms: Option<u64>,
+    /// Supervisor retries per ladder rung.
+    pub retries: usize,
+    /// Walk the degradation ladder (threads N → N/2 → … → serial) on
+    /// region-class failures, or pin the requested width.
+    pub degrade: bool,
+    /// Arm the in-computation SDC guard in the child.
+    pub sdc_guard: bool,
+    /// Checkpoint cadence for the guard (`None` = child default).
+    pub checkpoint_every: Option<usize>,
+    /// Spin-then-park budget forwarded to the child (`None` = default).
+    pub spin_us: Option<u64>,
+    /// One-shot fault spec forwarded to the first attempt (chaos
+    /// testing; validated by the child, retries run clean).
+    pub inject: Option<String>,
+}
+
+impl Default for JobPolicy {
+    fn default() -> JobPolicy {
+        JobPolicy {
+            deadline_ms: None,
+            retries: 1,
+            degrade: true,
+            sdc_guard: false,
+            checkpoint_every: None,
+            spin_us: None,
+            inject: None,
+        }
+    }
+}
+
+/// One benchmark job: what to run plus the policy to run it under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    pub bench: String,
+    pub class: Class,
+    pub style: Style,
+    /// Worker threads (0 = serial), as in the rest of the workspace.
+    pub threads: usize,
+    /// Seed for the deterministic retry jitter; part of the identity so
+    /// "same job, different seed" can be forced to re-run.
+    pub seed: u64,
+    pub policy: JobPolicy,
+}
+
+impl JobSpec {
+    /// The canonical content address: every axis of the job, in a fixed
+    /// order. Two requests with equal keys are *the same job* — they
+    /// dedupe in flight and share a cache slot.
+    pub fn canonical_key(&self) -> String {
+        let p = &self.policy;
+        format!(
+            "{}/{}/{}/t{}/s{}/d{}/r{}/l{}/g{}/k{}/u{}/i{}",
+            self.bench,
+            self.class,
+            self.style.label(),
+            self.threads,
+            self.seed,
+            p.deadline_ms.map_or(-1i64, |v| v as i64),
+            p.retries,
+            p.degrade as u8,
+            p.sdc_guard as u8,
+            p.checkpoint_every.map_or(-1i64, |v| v as i64),
+            p.spin_us.map_or(-1i64, |v| v as i64),
+            p.inject.as_deref().unwrap_or("-"),
+        )
+    }
+
+    /// The job id shown on the wire and in the journal: the hex form of
+    /// the content address.
+    pub fn job_id(&self) -> String {
+        format!("{:016x}", fnv1a64(&self.canonical_key()))
+    }
+
+    /// The spec's fields as a JSON-object fragment (no braces), shared
+    /// by the journal's `accepted` record and test fixtures. Optional
+    /// policy fields are always present (`null` when unset) so the
+    /// journal is self-describing.
+    pub fn json_fields(&self) -> String {
+        let p = &self.policy;
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+        format!(
+            "\"bench\":\"{}\",\"class\":\"{}\",\"style\":\"{}\",\"threads\":{},\"seed\":{},\
+             \"deadline_ms\":{},\"retries\":{},\"degrade\":{},\"sdc_guard\":{},\
+             \"checkpoint_every\":{},\"spin_us\":{},\"inject\":{}",
+            json_escape(&self.bench),
+            self.class,
+            self.style.label(),
+            self.threads,
+            self.seed,
+            opt(p.deadline_ms),
+            p.retries,
+            p.degrade,
+            p.sdc_guard,
+            opt(p.checkpoint_every.map(|v| v as u64)),
+            opt(p.spin_us),
+            p.inject.as_deref().map_or("null".to_string(), |s| format!("\"{}\"", json_escape(s))),
+        )
+    }
+
+    /// Parse the spec fields out of a request or journal object.
+    /// Everything except `bench` has a default; a present-but-malformed
+    /// field is an error, not a guess.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let bench = v.get_str("bench").ok_or("missing \"bench\"")?.to_ascii_uppercase();
+        if !BENCHMARKS.contains(&bench.as_str()) {
+            return Err(format!("unknown benchmark {bench:?} (expected one of {BENCHMARKS:?})"));
+        }
+        let class = match v.get("class") {
+            None => Class::S,
+            Some(Json::Str(s)) => s.parse::<Class>().map_err(|e| e.to_string())?,
+            Some(_) => return Err("\"class\" must be a string".into()),
+        };
+        let style = match v.get("style") {
+            None => Style::Opt,
+            Some(Json::Str(s)) => s.parse::<Style>().map_err(|e| e.to_string())?,
+            Some(_) => return Err("\"style\" must be a string".into()),
+        };
+        let uint = |key: &str, default: u64| -> Result<u64, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(default),
+                Some(Json::Num(_)) => v
+                    .get_uint(key)
+                    .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+                Some(_) => Err(format!("\"{key}\" must be a number")),
+            }
+        };
+        let opt_uint = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Num(_)) => v
+                    .get_uint(key)
+                    .map(Some)
+                    .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+                Some(_) => Err(format!("\"{key}\" must be a number or null")),
+            }
+        };
+        let boolean = |key: &str, default: bool| -> Result<bool, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(default),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(format!("\"{key}\" must be a boolean")),
+            }
+        };
+        let default_policy = JobPolicy::default();
+        Ok(JobSpec {
+            bench,
+            class,
+            style,
+            threads: uint("threads", 0)? as usize,
+            seed: uint("seed", 0)?,
+            policy: JobPolicy {
+                deadline_ms: opt_uint("deadline_ms")?,
+                retries: uint("retries", default_policy.retries as u64)? as usize,
+                degrade: boolean("degrade", default_policy.degrade)?,
+                sdc_guard: boolean("sdc_guard", default_policy.sdc_guard)?,
+                checkpoint_every: opt_uint("checkpoint_every")?.map(|v| v as usize),
+                spin_us: opt_uint("spin_us")?,
+                inject: match v.get("inject") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(s.clone()),
+                    Some(_) => return Err("\"inject\" must be a string or null".into()),
+                },
+            },
+        })
+    }
+}
+
+impl fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} ", self.bench, self.class, self.style.label())?;
+        if self.threads == 0 {
+            write!(f, "serial")
+        } else {
+            write!(f, "{}t", self.threads)
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Submit {
+        spec: JobSpec,
+        /// `true` (default): hold the connection until the terminal
+        /// line. `false`: fire-and-forget after `accepted`.
+        wait: bool,
+    },
+    Stats,
+    Ping,
+    Drain,
+}
+
+impl Request {
+    /// Parse one request line. Errors are the `detail` of a
+    /// `rejected:bad-request` reply.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        match v.get_str("op") {
+            Some("submit") => {
+                let spec = JobSpec::from_json(&v)?;
+                let wait = match v.get("wait") {
+                    None | Some(Json::Null) => true,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err("\"wait\" must be a boolean".into()),
+                };
+                Ok(Request::Submit { spec, wait })
+            }
+            Some("stats") => Ok(Request::Stats),
+            Some("ping") => Ok(Request::Ping),
+            Some("drain") => Ok(Request::Drain),
+            Some(op) => Err(format!("unknown op {op:?}")),
+            None => Err("missing \"op\"".into()),
+        }
+    }
+}
+
+/// Render the one-line `rejected` reply (the protocol's 429).
+pub fn rejected(reason: &str, detail: &str) -> String {
+    if detail.is_empty() {
+        format!("{{\"status\":\"rejected\",\"reason\":\"{}\"}}", json_escape(reason))
+    } else {
+        format!(
+            "{{\"status\":\"rejected\",\"reason\":\"{}\",\"detail\":\"{}\"}}",
+            json_escape(reason),
+            json_escape(detail)
+        )
+    }
+}
+
+/// Render the `accepted` reply.
+pub fn accepted(job_id: &str, dedup: bool) -> String {
+    format!("{{\"status\":\"accepted\",\"job\":\"{job_id}\",\"dedup\":{dedup}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(bench: &str) -> JobSpec {
+        JobSpec {
+            bench: bench.into(),
+            class: Class::S,
+            style: Style::Opt,
+            threads: 2,
+            seed: 7,
+            policy: JobPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn job_identity_is_content_addressed() {
+        let a = spec("EP");
+        let mut b = spec("EP");
+        assert_eq!(a.job_id(), b.job_id(), "equal specs share an id");
+        b.threads = 4;
+        assert_ne!(a.job_id(), b.job_id(), "threads is part of the identity");
+        let mut c = spec("EP");
+        c.policy.sdc_guard = true;
+        assert_ne!(a.job_id(), c.job_id(), "policy is part of the identity");
+        let mut d = spec("EP");
+        d.seed = 8;
+        assert_ne!(a.job_id(), d.job_id(), "seed is part of the identity");
+    }
+
+    #[test]
+    fn submit_round_trips_through_json_fields() {
+        let mut s = spec("CG");
+        s.policy.deadline_ms = Some(1500);
+        s.policy.checkpoint_every = Some(2);
+        s.policy.inject = Some("hang:1".into());
+        let line = format!("{{\"op\":\"submit\",{}}}", s.json_fields());
+        match Request::parse(&line).unwrap() {
+            Request::Submit { spec: parsed, wait } => {
+                assert_eq!(parsed, s);
+                assert!(wait, "wait defaults to true");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_defaults_are_the_documented_ones() {
+        let r = Request::parse(r#"{"op":"submit","bench":"ep"}"#).unwrap();
+        match r {
+            Request::Submit { spec, wait } => {
+                assert_eq!(spec.bench, "EP", "bench is case-insensitive");
+                assert_eq!(spec.class, Class::S);
+                assert_eq!(spec.style, Style::Opt);
+                assert_eq!(spec.threads, 0);
+                assert_eq!(spec.policy, JobPolicy::default());
+                assert!(wait);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_submits_are_loud() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"submit"}"#).is_err(), "bench required");
+        assert!(Request::parse(r#"{"op":"submit","bench":"ZZ"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"submit","bench":"EP","threads":-1}"#).is_err());
+        assert!(Request::parse(r#"{"op":"submit","bench":"EP","class":7}"#).is_err());
+        assert!(Request::parse(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::parse(r#"{"bench":"EP"}"#).is_err(), "op required");
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(Request::parse(r#"{"op":"drain"}"#).unwrap(), Request::Drain);
+    }
+
+    #[test]
+    fn replies_are_parseable_json() {
+        let r = Json::parse(&rejected("queue-full", "cost 4 over capacity 2")).unwrap();
+        assert_eq!(r.get_str("status"), Some("rejected"));
+        assert_eq!(r.get_str("reason"), Some("queue-full"));
+        let a = Json::parse(&accepted("00ff", true)).unwrap();
+        assert_eq!(a.get_str("job"), Some("00ff"));
+        assert_eq!(a.get("dedup"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn fnv_is_the_reference_function() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

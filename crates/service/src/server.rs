@@ -1,0 +1,474 @@
+//! The `npbd` daemon core: listener, bounded queue, worker pool,
+//! graceful drain.
+//!
+//! Life of a submit:
+//!
+//! 1. **Cache** — a verified result for the same content address is
+//!    served immediately (`from_cache:true`), no child spawned.
+//! 2. **Single-flight** — an identical job already accepted but not
+//!    terminal absorbs this submission as a waiter (`dedup:true`).
+//! 3. **Admission** — costed backpressure; refusals are immediate
+//!    one-line `rejected` replies, never silent queueing.
+//! 4. **Journal** — the `accepted` record is fsync'd *before* the
+//!    client sees `accepted`: once a client has the acceptance, a
+//!    SIGKILL cannot lose the job (`--resume` re-runs it).
+//! 5. **Execute** — a worker drives the job through the harness
+//!    supervisor; the terminal record is fsync'd *before* waiters are
+//!    woken, so any result a client observed is also durable.
+//!
+//! Drain (SIGTERM or the `drain` op) stops admission — submits get
+//! `rejected:draining` — finishes every accepted job, journals
+//! `shutdown`, and exits 0.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::admission::{admit, class_cost};
+use crate::cache::{InFlightJob, JobResult, ResultCache};
+use crate::exec::{run_job, ExecConfig};
+use crate::journal::{recover, JobJournal};
+use crate::proto::{accepted, rejected, JobSpec, Request};
+
+/// Where the daemon listens. `tcp:HOST:PORT` on the CLI selects TCP;
+/// anything else is a Unix socket path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Addr {
+    pub fn parse(s: &str) -> Addr {
+        match s.strip_prefix("tcp:") {
+            Some(hostport) => Addr::Tcp(hostport.to_string()),
+            None => Addr::Unix(PathBuf::from(s)),
+        }
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Unix(p) => write!(f, "{}", p.display()),
+            Addr::Tcp(hp) => write!(f, "tcp:{hp}"),
+        }
+    }
+}
+
+/// Daemon configuration (the `npbd` CLI maps 1:1 onto this).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    pub addr: Addr,
+    pub journal_path: PathBuf,
+    pub exec: ExecConfig,
+    /// Queue capacity in admission cost units (S=1 … C=256).
+    pub capacity: u64,
+    /// Warm worker slots: jobs executing concurrently.
+    pub workers: usize,
+    /// Recover the journal: re-enqueue incomplete jobs, seed the cache
+    /// from verified terminal records.
+    pub resume: bool,
+}
+
+/// Counters reported by `stats` (and mirrored into the shutdown log).
+#[derive(Debug, Default)]
+struct Counters {
+    executed: u64,
+    cache_hits: u64,
+    deduped: u64,
+    rejected: u64,
+}
+
+/// Everything the queue's mutex protects.
+struct QueueState {
+    queue: VecDeque<Arc<InFlightJob>>,
+    /// Accepted-but-not-terminal jobs by canonical key (queued AND
+    /// running) — the single-flight table.
+    in_flight: HashMap<String, Arc<InFlightJob>>,
+    in_service_cost: u64,
+    draining: bool,
+    /// Workers exit when this is set (drain finished).
+    stop: bool,
+    /// Monotonic acceptance sequence (jitter stream selector).
+    seq: u64,
+    counters: Counters,
+}
+
+struct Daemon {
+    cfg: ServerConfig,
+    cache: ResultCache,
+    journal: Mutex<JobJournal>,
+    state: Mutex<QueueState>,
+    /// Workers park here waiting for queued jobs (or stop).
+    work_ready: Condvar,
+    /// The drain waiter parks here until `in_service_cost == 0`.
+    idle: Condvar,
+}
+
+impl Daemon {
+    /// Begin graceful drain (idempotent): stop admitting, let running
+    /// and queued jobs finish. Queued jobs were journaled as accepted —
+    /// a client holds their acceptance — so they run to terminal even
+    /// though they have not started yet.
+    fn begin_drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        if st.draining {
+            return;
+        }
+        st.draining = true;
+        let _ = self.journal.lock().unwrap().drain();
+        // Wake the drain waiter in case the queue is already empty.
+        self.idle.notify_all();
+        self.work_ready.notify_all();
+    }
+
+    /// Accept one job under the state lock path: journal (fsync) →
+    /// enqueue → return. The caller replies `accepted` only after this
+    /// returns, so an acceptance a client observed is always durable.
+    fn accept_job(&self, st: &mut QueueState, spec: JobSpec, cost: u64) -> Arc<InFlightJob> {
+        let seq = st.seq;
+        st.seq += 1;
+        let job = Arc::new(InFlightJob::new(spec, cost, seq));
+        self.journal
+            .lock()
+            .unwrap()
+            .accepted(&job.spec, seq)
+            .expect("journal write failed: refusing to accept unjournaled work");
+        st.in_service_cost += cost;
+        st.in_flight.insert(job.key.clone(), Arc::clone(&job));
+        st.queue.push_back(Arc::clone(&job));
+        self.work_ready.notify_one();
+        job
+    }
+
+    /// The submit path. Returns the immediate reply line (`rejected`,
+    /// cache-hit `done`, or `accepted`) plus, for a wait-mode accept,
+    /// the job to block on for the terminal line. The split matters:
+    /// the connection thread must *flush* the acceptance before it
+    /// waits, or a client cannot observe `accepted` (and a drain cannot
+    /// start) until the job is already finished.
+    fn submit(&self, spec: JobSpec, wait: bool) -> (String, Option<(Arc<InFlightJob>, String)>) {
+        let key = spec.canonical_key();
+        let id = spec.job_id();
+        // 1. Cache.
+        if let Some(result) = self.cache.get(&key) {
+            self.state.lock().unwrap().counters.cache_hits += 1;
+            return (result.done_line(&id, true), None);
+        }
+        let (first, job) = {
+            let mut st = self.state.lock().unwrap();
+            // 2. Single-flight.
+            if let Some(job) = st.in_flight.get(&key).map(Arc::clone) {
+                st.counters.deduped += 1;
+                (accepted(&id, true), job)
+            } else {
+                // 3. Admission.
+                let cost = class_cost(spec.class);
+                if let Err(reason) = admit(st.in_service_cost, self.cfg.capacity, cost, st.draining)
+                {
+                    st.counters.rejected += 1;
+                    let detail = match reason {
+                        crate::admission::RejectReason::QueueFull => format!(
+                            "cost {cost} + in-service {} exceeds capacity {}",
+                            st.in_service_cost, self.cfg.capacity
+                        ),
+                        crate::admission::RejectReason::CostExceedsCapacity => {
+                            format!("cost {cost} exceeds total capacity {}", self.cfg.capacity)
+                        }
+                        crate::admission::RejectReason::Draining => String::new(),
+                    };
+                    return (rejected(reason.tag(), &detail), None);
+                }
+                // 4. Journal + enqueue.
+                let job = self.accept_job(&mut st, spec, cost);
+                (accepted(&id, false), job)
+            }
+        };
+        (first, wait.then_some((job, id)))
+    }
+
+    /// One worker: pull, execute, journal the terminal record, wake
+    /// waiters, release the admission budget.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    if st.stop {
+                        return;
+                    }
+                    st = self.work_ready.wait(st).unwrap();
+                }
+            };
+            let _ = self.journal.lock().unwrap().started(&job.id);
+            let result = run_job(&self.cfg.exec, &job.spec, job.seq);
+            self.finish_job(&job, result);
+        }
+    }
+
+    /// Publish a terminal result: durable first, observable second.
+    fn finish_job(&self, job: &InFlightJob, result: JobResult) {
+        self.journal
+            .lock()
+            .unwrap()
+            .done(&job.id, &result)
+            .expect("journal write failed: refusing to report unjournaled result");
+        self.cache.insert_if_verified(&job.key, &result);
+        {
+            let mut st = self.state.lock().unwrap();
+            st.in_service_cost -= job.cost;
+            st.in_flight.remove(&job.key);
+            st.counters.executed += 1;
+        }
+        job.finish(result);
+        self.idle.notify_all();
+    }
+
+    fn stats_line(&self) -> String {
+        let st = self.state.lock().unwrap();
+        format!(
+            "{{\"status\":\"stats\",\"queued\":{},\"running\":{},\"in_service_cost\":{},\
+             \"capacity\":{},\"workers\":{},\"cache_size\":{},\"executed\":{},\
+             \"cache_hits\":{},\"deduped\":{},\"rejected\":{},\"draining\":{}}}",
+            st.queue.len(),
+            st.in_flight.len() - st.queue.len(),
+            st.in_service_cost,
+            self.cfg.capacity,
+            self.cfg.workers,
+            self.cache.len(),
+            st.counters.executed,
+            st.counters.cache_hits,
+            st.counters.deduped,
+            st.counters.rejected,
+            st.draining,
+        )
+    }
+
+    /// Serve one connection: request lines in, reply lines out, until
+    /// EOF. Any I/O error just ends the connection — the daemon and the
+    /// jobs it owns are unaffected (fault containment includes clients
+    /// that vanish mid-reply).
+    fn handle_connection(&self, reader: impl BufRead, mut writer: impl Write) {
+        fn write_line(w: &mut impl Write, line: &str) -> std::io::Result<()> {
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+            w.flush()
+        }
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match Request::parse(&line) {
+                Err(detail) => rejected("bad-request", &detail),
+                Ok(Request::Ping) => {
+                    format!("{{\"status\":\"pong\",\"pid\":{}}}", std::process::id())
+                }
+                Ok(Request::Stats) => self.stats_line(),
+                Ok(Request::Drain) => {
+                    self.begin_drain();
+                    "{\"status\":\"draining\"}".to_string()
+                }
+                Ok(Request::Submit { spec, wait }) => {
+                    let (first, waiter) = self.submit(spec, wait);
+                    // Flush the acceptance *before* blocking on the
+                    // terminal result — the client (and any drain that
+                    // follows) must see it while the job is in flight.
+                    if write_line(&mut writer, &first).is_err() {
+                        return;
+                    }
+                    let Some((job, id)) = waiter else { continue };
+                    job.wait().done_line(&id, false)
+                }
+            };
+            if write_line(&mut writer, &reply).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(addr: &Addr) -> std::io::Result<Listener> {
+        match addr {
+            Addr::Unix(path) => {
+                // A dead daemon leaves its socket file behind; rebinding
+                // over it is the expected restart path.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l))
+            }
+            Addr::Tcp(hostport) => {
+                let l = TcpListener::bind(hostport)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+        }
+    }
+
+    /// Non-blocking accept; `None` when no connection is pending.
+    fn try_accept(&self) -> std::io::Result<Option<Conn>> {
+        let conn = match self {
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Unix(s)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Tcp(s)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(conn)
+    }
+}
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn split(self) -> std::io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)> {
+        match self {
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                let r = s.try_clone()?;
+                Ok((Box::new(BufReader::new(r)), Box::new(s)))
+            }
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                let r = s.try_clone()?;
+                Ok((Box::new(BufReader::new(r)), Box::new(s)))
+            }
+        }
+    }
+}
+
+/// Run the daemon until drained. Returns after the `shutdown` record is
+/// durable; the caller (the `npbd` binary) then exits 0.
+///
+/// `install_signals` wires SIGTERM/SIGINT to graceful drain; tests that
+/// run several daemons in one process pass `false` and use the `drain`
+/// op instead.
+pub fn serve(cfg: ServerConfig, install_signals: bool) -> std::io::Result<()> {
+    let mut journal = JobJournal::open(&cfg.journal_path)?;
+    let cache = ResultCache::default();
+    let mut pending = Vec::new();
+    if cfg.resume {
+        let rec = recover(&cfg.journal_path)?;
+        for (key, result) in &rec.seeds {
+            cache.insert_if_verified(key, result);
+        }
+        pending = rec.pending;
+        eprintln!(
+            "npbd: resume: {} cache seed(s), {} incomplete job(s) re-enqueued, {} torn line(s) skipped",
+            rec.seeds.len(),
+            pending.len(),
+            rec.torn_lines
+        );
+    }
+    journal.daemon(std::process::id(), cfg.capacity, cfg.workers)?;
+
+    let listener = Listener::bind(&cfg.addr)?;
+    let workers = cfg.workers.max(1);
+    let daemon = Arc::new(Daemon {
+        cfg,
+        cache,
+        journal: Mutex::new(journal),
+        state: Mutex::new(QueueState {
+            queue: VecDeque::new(),
+            in_flight: HashMap::new(),
+            in_service_cost: 0,
+            draining: false,
+            stop: false,
+            seq: 0,
+            counters: Counters::default(),
+        }),
+        work_ready: Condvar::new(),
+        idle: Condvar::new(),
+    });
+
+    // Re-accept the crashed incarnation's unfinished jobs before the
+    // socket opens: their original clients are gone, but the acceptance
+    // contract survives the clients.
+    {
+        let mut st = daemon.state.lock().unwrap();
+        for spec in pending {
+            let cost = class_cost(spec.class);
+            daemon.accept_job(&mut st, spec, cost);
+        }
+    }
+
+    if install_signals {
+        let d = Arc::clone(&daemon);
+        crate::signal::watch(move |_sig| d.begin_drain())
+            .map_err(|e| std::io::Error::other(format!("signal watcher: {e}")))?;
+    }
+
+    let mut worker_handles = Vec::new();
+    for i in 0..workers {
+        let d = Arc::clone(&daemon);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("npbd-worker-{i}"))
+                .spawn(move || d.worker_loop())?,
+        );
+    }
+
+    // Accept loop: non-blocking poll so a drain with no traffic still
+    // makes progress. Connections get their own threads; a slow or
+    // hung client never stalls accept.
+    loop {
+        match listener.try_accept()? {
+            Some(conn) => {
+                let d = Arc::clone(&daemon);
+                let (reader, writer) = conn.split()?;
+                std::thread::Builder::new()
+                    .name("npbd-conn".into())
+                    .spawn(move || d.handle_connection(reader, writer))?;
+            }
+            None => {
+                let st = daemon.state.lock().unwrap();
+                if st.draining && st.in_service_cost == 0 {
+                    break;
+                }
+                drop(st);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Drained: every accepted job is terminal and journaled. Stop the
+    // workers, give in-flight replies a beat to flush, seal the journal.
+    let executed = {
+        let mut st = daemon.state.lock().unwrap();
+        st.stop = true;
+        daemon.work_ready.notify_all();
+        st.counters.executed
+    };
+    for h in worker_handles {
+        let _ = h.join();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    daemon.journal.lock().unwrap().shutdown(executed)?;
+    if let Addr::Unix(path) = &daemon.cfg.addr {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!("npbd: drained after {executed} job(s); shutdown journaled");
+    Ok(())
+}

@@ -83,6 +83,37 @@ suite_out="$(cargo run --release --bin npb-suite -- cg --class S --threads 2 \
 echo "$suite_out" | grep -q 'speedup'
 grep -q '"regions":\[' "$trace_manifest"
 
+echo "== service smoke (npbd daemon) =="
+# One daemon lifecycle end to end, offline, against the release
+# binaries built above: cold submit executes and verifies; the
+# identical resubmit is a cache hit; a hanging job is deadline-killed
+# under its per-job policy and retried clean (kill journaled); an
+# oversized job is refused with an explicit reason; drain seals the
+# journal and the daemon exits 0.
+svc_dir="$(mktemp -d -t npbd-ci.XXXXXX)"
+svc_pid=""
+trap '[ -z "${svc_pid:-}" ] || kill "$svc_pid" 2>/dev/null || true; rm -rf "$svc_dir"; rm -f "$manifest" "$sync_json" "$trace_json" "$trace_folded" "$trace_manifest"' EXIT
+target/release/npbd --socket "$svc_dir/npb.sock" --journal "$svc_dir/journal.jsonl" \
+    --workers 1 --queue-cost 8 --backoff-ms 0 &
+svc_pid=$!
+once() { target/release/npb-attack --socket "$svc_dir/npb.sock" --once "$1" || true; }
+out="$(once '{"op":"submit","bench":"EP","class":"S","threads":2,"seed":7}')"
+echo "$out" | grep -q '"disposition":"verified"'
+echo "$out" | grep -q '"from_cache":false'
+out="$(once '{"op":"submit","bench":"EP","class":"S","threads":2,"seed":7}')"
+echo "$out" | grep -q '"from_cache":true'
+out="$(once '{"op":"submit","bench":"EP","class":"S","threads":2,"seed":8,"inject":"hang:1","deadline_ms":2000,"retries":1}')"
+echo "$out" | grep -q '"disposition":"verified"'
+echo "$out" | grep -q '"kills":1'
+out="$(once '{"op":"submit","bench":"EP","class":"C","threads":2}')"
+echo "$out" | grep -q '"reason":"cost-exceeds-capacity"'
+out="$(once '{"op":"drain"}')"
+echo "$out" | grep -q '"status":"draining"'
+wait "$svc_pid"
+svc_pid=""
+grep -q '"ev":"done".*"kills":1' "$svc_dir/journal.jsonl"
+grep -q '"ev":"shutdown"' "$svc_dir/journal.jsonl"
+
 echo "== spin-vs-park equivalence (explicit park path) =="
 # Pin the paper's pure wait/notify path via the environment so it never
 # bit-rots: the full consistency suite must pass with spinning disabled,

@@ -1,0 +1,151 @@
+//! `npb-attack` — load generator for the `npbd` daemon.
+//!
+//! ```text
+//! npb-attack --socket PATH|tcp:HOST:PORT [--clients N] [--requests N]
+//!            [--bench B] [--class C] [--threads T] [--seeds K]
+//!            [--chaos] [--ramp] [--out PATH]
+//! npb-attack --socket ... --once JSON      # single request, reply on stdout
+//! ```
+//!
+//! N concurrent clients each submit `--requests` jobs and wait for the
+//! terminal replies. `--seeds K` cycles K distinct seeds through the
+//! stream: `--seeds 1` makes every client ask for the *same* job (a
+//! cache/dedupe stress), larger K forces distinct executions. `--chaos`
+//! injects a rotating fault (hang / panic / bitflip) into every third
+//! request, so the daemon absorbs deadline-kills and retries while
+//! serving clean traffic. `--ramp` doubles concurrency 1, 2, 4, … up to
+//! `--clients` and reports the saturation point — the lowest level at
+//! which the daemon starts shedding load with `rejected:queue-full`.
+//!
+//! The report (latency histogram with percentiles, acceptance /
+//! cache-hit / dedupe / rejection mix, saturation point) is written to
+//! `--out` (default `BENCH_service.json`) and summarized on stderr.
+//!
+//! `--once JSON` sends a single raw request line and prints every reply
+//! line to stdout — the scriptable probe the CI smoke test uses.
+
+use npb::expand_flag_args;
+use npb_service::attack::{run, AttackConfig};
+use npb_service::client::Client;
+use npb_service::server::Addr;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: npb-attack --socket PATH|tcp:HOST:PORT [--clients N] [--requests N]\n\
+         \x20                [--bench B] [--class C] [--threads T] [--seeds K]\n\
+         \x20                [--chaos] [--ramp] [--out PATH]\n\
+         \x20      npb-attack --socket ... --once JSON"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut clients = 8usize;
+    let mut requests = 8usize;
+    let mut bench = "EP".to_string();
+    let mut class = "S".to_string();
+    let mut threads = 0usize;
+    let mut seeds = 4u64;
+    let mut chaos = false;
+    let mut ramp = false;
+    let mut out = std::path::PathBuf::from("BENCH_service.json");
+    let mut once: Option<String> = None;
+
+    let expanded = expand_flag_args(&args);
+    let mut it = expanded.iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().cloned().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(val(&mut it)),
+            "--clients" => clients = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--requests" => requests = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--bench" => bench = val(&mut it).to_ascii_uppercase(),
+            "--class" => class = val(&mut it).to_ascii_uppercase(),
+            "--threads" => threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seeds" => seeds = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--chaos" => chaos = true,
+            "--ramp" => ramp = true,
+            "--out" => out = std::path::PathBuf::from(val(&mut it)),
+            "--once" => once = Some(val(&mut it)),
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    let addr = Addr::parse(&socket);
+
+    // Scriptable single-shot probe: one request line, replies verbatim.
+    if let Some(line) = once {
+        let mut client = Client::connect_retry(&addr, 40).unwrap_or_else(|e| {
+            eprintln!("npb-attack: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        });
+        let result = (|| -> std::io::Result<bool> {
+            client.send(&line)?;
+            let first = client.read_line()?;
+            println!("{first}");
+            let mut rejected = first.contains("\"status\":\"rejected\"");
+            // An accepted wait-mode submit gets a second, terminal line.
+            let wants_wait = !line.contains("\"wait\":false");
+            if first.contains("\"status\":\"accepted\"") && wants_wait {
+                let terminal = client.read_line()?;
+                println!("{terminal}");
+                rejected |= terminal.contains("\"status\":\"rejected\"");
+            }
+            Ok(rejected)
+        })();
+        match result {
+            // A rejected submit is a nonzero exit so shell tests can
+            // assert on backpressure without parsing.
+            Ok(true) => std::process::exit(3),
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("npb-attack: request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Worker faults cannot be injected into a serial run (the driver
+    // rejects that up front), so chaos mode needs a real team.
+    if chaos && threads == 0 {
+        threads = 2;
+    }
+    let cfg = AttackConfig {
+        addr,
+        clients: clients.max(1),
+        requests: requests.max(1),
+        spec: format!(
+            "\"bench\":\"{bench}\",\"class\":\"{class}\",\"threads\":{threads},\"deadline_ms\":10000"
+        ),
+        seeds: seeds.max(1),
+        chaos,
+        ramp,
+    };
+    let report = run(&cfg);
+    let json = report.to_json(&cfg);
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("npb-attack: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let t = &report.tallies;
+    eprintln!(
+        "npb-attack: {} sent / {} verified / {} failed / {} cache hits / {} deduped / \
+         {} queue-full / {} draining; p50 {}µs p99 {}µs; saturation {}; report {}",
+        t.sent,
+        t.done_verified,
+        t.done_failed,
+        t.cache_hits,
+        t.deduped,
+        t.rejected_queue_full,
+        t.rejected_draining,
+        report.latency.percentile_us(50.0),
+        report.latency.percentile_us(99.0),
+        report.saturation_clients.map_or("not reached".to_string(), |c| format!("{c} client(s)")),
+        out.display()
+    );
+}

@@ -136,16 +136,7 @@ fn main() {
     let mut trace = false;
 
     // Accept `--flag=value` as well as `--flag value`, like `npb`.
-    let mut expanded: Vec<String> = Vec::new();
-    for a in &args[1..] {
-        match a.split_once('=') {
-            Some((f, v)) if f.starts_with("--") => {
-                expanded.push(f.to_string());
-                expanded.push(v.to_string());
-            }
-            _ => expanded.push(a.clone()),
-        }
-    }
+    let expanded = npb::expand_flag_args(&args[1..]);
     let mut it = expanded.iter();
     while let Some(flag) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| -> String {
@@ -279,6 +270,7 @@ fn main() {
         checkpoint_every,
         spin_us,
         trace,
+        degrade: true,
         backoff_base_ms: backoff_ms,
         seed,
     };

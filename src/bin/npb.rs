@@ -60,11 +60,12 @@
 //! verification or its region failed beyond the retry budget; 2 usage
 //! error; 3 the region watchdog fired.
 
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use npb::{
-    parse_checkpoint_every, try_run_benchmark, Class, FaultPlan, GuardConfig, RunError, RunOptions,
-    Style, TraceFormat, BENCHMARKS,
+    expand_flag_args, parse_checkpoint_every, try_run_benchmark, Class, FaultPlan, GuardConfig,
+    RunError, RunOptions, Style, TraceFormat, BENCHMARKS,
 };
 
 fn usage() -> ! {
@@ -114,16 +115,7 @@ fn main() {
     let mut trace_format = TraceFormat::default();
 
     // Accept `--flag=value` as well as `--flag value`.
-    let mut expanded: Vec<String> = Vec::new();
-    for a in &args[1..] {
-        match a.split_once('=') {
-            Some((f, v)) if f.starts_with("--") => {
-                expanded.push(f.to_string());
-                expanded.push(v.to_string());
-            }
-            _ => expanded.push(a.clone()),
-        }
-    }
+    let expanded = expand_flag_args(&args[1..]);
     let mut it = expanded.iter();
     while let Some(flag) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| -> String {
@@ -188,8 +180,32 @@ fn main() {
     which.make_ascii_uppercase();
     let list: Vec<&str> = if which == "ALL" { BENCHMARKS.to_vec() } else { vec![which.as_str()] };
 
+    // SIGTERM/SIGINT (a supervisor's deadline-kill, a user's ^C) must
+    // not vaporize an in-progress run's evidence: the watcher flushes
+    // the partial trace profile (marked truncated) and an `interrupted`
+    // report for the benchmark that was running, then dies with the
+    // conventional 128+signum. Best effort by design — if the handler
+    // itself wedges, the supervisor's SIGKILL escalation still wins.
+    let in_progress: Arc<Mutex<Option<(String, Class, Style, usize)>>> = Arc::new(Mutex::new(None));
+    {
+        let in_progress = Arc::clone(&in_progress);
+        let _ = npb_service::signal::watch(move |sig| {
+            if let Some(session) = npb::trace::current() {
+                let _ = session.write_output(true);
+            }
+            if let Some((name, class, style, threads)) = in_progress.lock().unwrap().clone() {
+                println!(
+                    "{}",
+                    npb::BenchReport::interrupted_json(&name, class, style, threads, sig)
+                );
+            }
+            std::process::exit(128 + sig);
+        });
+    }
+
     let mut failed = false;
     for name in list {
+        *in_progress.lock().unwrap() = Some((name.to_string(), class, style, threads));
         let mut attempt = 0usize;
         loop {
             // The injected fault is armed only on the first attempt: it

@@ -30,11 +30,10 @@ pub use npb_runtime::{
     RegionError, SharedMut, Team, WATCHDOG_EXIT_CODE,
 };
 
+pub use npb_core::{expand_flag_args, BENCHMARKS};
+
 use std::path::Path;
 use std::time::Duration;
-
-/// All benchmark names, in the paper's table order.
-pub const BENCHMARKS: [&str; 8] = ["BT", "SP", "LU", "FT", "IS", "CG", "MG", "EP"];
 
 /// Error for unknown benchmark names.
 #[derive(Debug, Clone, PartialEq, Eq)]

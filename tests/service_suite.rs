@@ -1,0 +1,360 @@
+//! Integration suite for the `npbd` service: the Level 4 containment
+//! story, exercised through real daemons, real sockets, and real
+//! supervised `npb` children.
+//!
+//! Covered here:
+//! * submit → verified; identical submit → cache hit without a child
+//!   spawn; concurrent identical submits → single-flight dedupe;
+//! * costed admission: queue-full rejection under load, with the
+//!   queue recovering afterwards;
+//! * per-job fault policy: a hanging job is deadline-killed, journaled,
+//!   and retried to a verified result;
+//! * crash safety: SIGKILL the daemon mid-job, restart `--resume`,
+//!   every accepted job still reaches a terminal disposition and the
+//!   re-run result is served from cache afterwards;
+//! * graceful drain: SIGTERM stops admission (`rejected:draining`),
+//!   running jobs finish, the journal is sealed, exit code 0 —
+//!   and the chaos acceptance run: 32 concurrent `npb-attack` clients
+//!   with a mid-run SIGKILL, no accepted job lost.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use npb_service::client::Client;
+use npb_service::journal::recover;
+use npb_service::server::Addr;
+use npb_service::signal;
+
+/// These tests assert on *timing* (a job still being in flight when a
+/// second request lands). Run them one daemon at a time: five daemons
+/// plus 32 attack clients sharing the test box's cores turns "still in
+/// flight" into a coin flip.
+static ONE_DAEMON_AT_A_TIME: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    ONE_DAEMON_AT_A_TIME.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Unique temp paths per test so parallel tests never share a socket.
+fn temp(name: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("npbd-suite-{}-{name}.{ext}", std::process::id()))
+}
+
+struct DaemonFixture {
+    child: Child,
+    addr: Addr,
+    journal: PathBuf,
+    socket: PathBuf,
+}
+
+impl DaemonFixture {
+    /// Start an `npbd` on a fresh Unix socket. `extra` appends CLI
+    /// flags (`--queue-cost`, `--resume`, ...).
+    fn start(name: &str, extra: &[&str]) -> DaemonFixture {
+        let socket = temp(name, "sock");
+        let journal = temp(name, "journal.jsonl");
+        if !extra.contains(&"--resume") {
+            let _ = std::fs::remove_file(&journal);
+        }
+        let _ = std::fs::remove_file(&socket);
+        // Daemon stderr goes to a log file so a failing test can show
+        // what the daemon saw.
+        let log = std::fs::File::create(temp(name, "stderr.log")).expect("create daemon log");
+        let child = Command::new(env!("CARGO_BIN_EXE_npbd"))
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--journal")
+            .arg(&journal)
+            .args(["--npb-bin", env!("CARGO_BIN_EXE_npb"), "--backoff-ms", "0"])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(log)
+            .spawn()
+            .expect("spawn npbd");
+        DaemonFixture { child, addr: Addr::Unix(socket.clone()), journal, socket }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_retry(&self.addr, 100).expect("connect to npbd")
+    }
+
+    /// Graceful drain via the wire op; returns the daemon's exit code.
+    fn drain_and_wait(&mut self) -> i32 {
+        let mut c = self.client();
+        let reply = c.request("{\"op\":\"drain\"}").expect("drain reply");
+        assert_eq!(reply.get_str("status"), Some("draining"));
+        self.wait_exit()
+    }
+
+    fn wait_exit(&mut self) -> i32 {
+        let status = self.child.wait().expect("wait npbd");
+        status.code().unwrap_or(-1)
+    }
+
+    fn cleanup(&self) {
+        let _ = std::fs::remove_file(&self.journal);
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+impl Drop for DaemonFixture {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn submit_line(extra: &str) -> String {
+    format!("{{\"op\":\"submit\",\"bench\":\"EP\",\"class\":\"S\"{extra}}}")
+}
+
+#[test]
+fn submit_cache_hit_and_dedupe() {
+    let _serial = serialized();
+    let mut d = DaemonFixture::start("cache", &["--workers", "2", "--queue-cost", "8"]);
+
+    // Cold submit: accepted, executed, verified.
+    let replies = d.client().submit(&submit_line(",\"threads\":2,\"seed\":11")).unwrap();
+    assert_eq!(replies[0].get_str("status"), Some("accepted"));
+    assert_eq!(replies[0].get("dedup"), Some(&npb_harness::Json::Bool(false)));
+    assert_eq!(replies[1].get_str("disposition"), Some("verified"));
+    assert_eq!(replies[1].get("from_cache"), Some(&npb_harness::Json::Bool(false)));
+
+    // Identical submit: served from cache, no second execution.
+    let replies = d.client().submit(&submit_line(",\"threads\":2,\"seed\":11")).unwrap();
+    assert_eq!(replies.len(), 1, "cache hits skip the accepted line: {replies:?}");
+    assert_eq!(replies[0].get("from_cache"), Some(&npb_harness::Json::Bool(true)));
+    assert_eq!(replies[0].get_str("disposition"), Some("verified"));
+
+    // A *different* job (new seed) submitted concurrently from several
+    // clients dedupes onto one execution.
+    let line = submit_line(",\"threads\":2,\"seed\":12");
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (addr, line) = (d.addr.clone(), line.clone());
+            std::thread::spawn(move || {
+                Client::connect_retry(&addr, 100).unwrap().submit(&line).unwrap()
+            })
+        })
+        .collect();
+    let mut dedup_count = 0;
+    for h in handles {
+        let replies = h.join().unwrap();
+        let terminal = replies.last().unwrap();
+        assert_eq!(terminal.get_str("disposition"), Some("verified"), "{replies:?}");
+        if replies[0].get("dedup") == Some(&npb_harness::Json::Bool(true)) {
+            dedup_count += 1;
+        }
+    }
+    assert!(dedup_count >= 1, "concurrent identical submits must dedupe");
+
+    // stats agrees: one cache hit, at least one dedupe, and exactly two
+    // distinct executions (seed 11, seed 12) no matter how many submits.
+    let stats = d.client().request("{\"op\":\"stats\"}").unwrap();
+    assert_eq!(stats.get_uint("executed"), Some(2), "{stats:?}");
+    assert!(stats.get_uint("cache_hits").unwrap() >= 1);
+    assert!(stats.get_uint("deduped").unwrap() >= 1);
+
+    assert_eq!(d.drain_and_wait(), 0);
+    d.cleanup();
+}
+
+#[test]
+fn queue_full_rejection_under_load_is_explicit_and_recoverable() {
+    let _serial = serialized();
+    // Capacity 1 cost unit, 1 worker: the first S job fills the queue.
+    let mut d = DaemonFixture::start("backpressure", &["--workers", "1", "--queue-cost", "1"]);
+
+    // Occupy the only slot with a job that hangs long enough to observe
+    // backpressure (deadline-killed after 3s, then a clean retry).
+    let mut holder = d.client();
+    holder
+        .send(&submit_line(
+            ",\"threads\":2,\"seed\":21,\"inject\":\"hang:1\",\"deadline_ms\":3000,\"retries\":1",
+        ))
+        .unwrap();
+    let accepted = holder.read_line().unwrap();
+    assert!(accepted.contains("\"status\":\"accepted\""), "{accepted}");
+
+    // While it holds the queue, every further submit is shed, loudly.
+    let reply = d.client().submit(&submit_line(",\"threads\":2,\"seed\":22")).unwrap();
+    assert_eq!(reply[0].get_str("status"), Some("rejected"), "{reply:?}");
+    assert_eq!(reply[0].get_str("reason"), Some("queue-full"));
+
+    // A job that can never fit gets its own reason (W costs 4 > 1).
+    let reply = d
+        .client()
+        .submit("{\"op\":\"submit\",\"bench\":\"EP\",\"class\":\"W\",\"seed\":23}")
+        .unwrap();
+    assert_eq!(reply[0].get_str("reason"), Some("cost-exceeds-capacity"), "{reply:?}");
+
+    // The holder's job finishes (deadline-kill + clean retry) and the
+    // queue recovers: the same rejected submit is now admitted.
+    let terminal = holder.read_line().unwrap();
+    assert!(terminal.contains("\"disposition\":\"verified\""), "{terminal}");
+    let replies = d.client().submit(&submit_line(",\"threads\":2,\"seed\":22")).unwrap();
+    assert_eq!(replies.last().unwrap().get_str("disposition"), Some("verified"), "{replies:?}");
+
+    assert_eq!(d.drain_and_wait(), 0);
+    d.cleanup();
+}
+
+#[test]
+fn deadline_killed_job_is_journaled_and_retried() {
+    let _serial = serialized();
+    let mut d = DaemonFixture::start("deadline", &["--workers", "1", "--queue-cost", "8"]);
+
+    // First attempt hangs (injected), the per-job deadline kills it,
+    // the retry runs clean (faults are one-shot) and verifies.
+    let replies = d
+        .client()
+        .submit(&submit_line(
+            ",\"threads\":2,\"seed\":31,\"inject\":\"hang:1\",\"deadline_ms\":2000,\"retries\":1",
+        ))
+        .unwrap();
+    let terminal = replies.last().unwrap();
+    assert_eq!(terminal.get_str("disposition"), Some("verified"), "{replies:?}");
+    assert_eq!(terminal.get_uint("kills"), Some(1), "the hung attempt was deadline-killed");
+    assert_eq!(terminal.get_uint("attempts"), Some(2), "kill + clean retry");
+
+    assert_eq!(d.drain_and_wait(), 0);
+
+    // The journal carries the full story: accepted with the policy,
+    // started, and a terminal `done` recording the kill.
+    let text = std::fs::read_to_string(&d.journal).unwrap();
+    assert!(text.contains("\"ev\":\"accepted\"") && text.contains("\"inject\":\"hang:1\""));
+    assert!(text.contains("\"ev\":\"done\"") && text.contains("\"kills\":1"), "{text}");
+    let rec = recover(&d.journal).unwrap();
+    assert!(rec.pending.is_empty(), "the killed-and-retried job is terminal");
+    assert_eq!(rec.completed, 1);
+    d.cleanup();
+}
+
+#[test]
+fn graceful_drain_finishes_running_jobs_and_refuses_new_ones() {
+    let _serial = serialized();
+    let mut d = DaemonFixture::start("drain", &["--workers", "1", "--queue-cost", "8"]);
+
+    // A slow job (hang + 2s deadline + retry) is mid-flight when the
+    // drain starts.
+    let mut slow = d.client();
+    slow.send(&submit_line(
+        ",\"threads\":2,\"seed\":41,\"inject\":\"hang:1\",\"deadline_ms\":2000,\"retries\":1",
+    ))
+    .unwrap();
+    assert!(slow.read_line().unwrap().contains("accepted"));
+
+    // SIGTERM → graceful drain (the same path as the `drain` op).
+    assert!(signal::send(d.child.id(), signal::SIGTERM));
+
+    // Give the watcher a beat, then: new submits are refused with the
+    // draining reason — an explicit reply, not a dropped connection.
+    std::thread::sleep(Duration::from_millis(300));
+    let reply = d.client().submit(&submit_line(",\"threads\":2,\"seed\":42")).unwrap();
+    assert_eq!(reply[0].get_str("reason"), Some("draining"), "{reply:?}");
+
+    // The in-flight job still runs to its verified terminal line...
+    let terminal = slow.read_line().unwrap();
+    assert!(terminal.contains("\"disposition\":\"verified\""), "{terminal}");
+
+    // ...and the daemon exits 0 with a sealed journal.
+    assert_eq!(d.wait_exit(), 0);
+    let rec = recover(&d.journal).unwrap();
+    assert!(rec.clean_shutdown, "shutdown record sealed the journal");
+    assert!(rec.pending.is_empty());
+    assert_eq!(rec.completed, 1, "the drained job is terminal, the refused one never accepted");
+    d.cleanup();
+}
+
+/// The acceptance chaos run: 32 concurrent attack clients, SIGKILL the
+/// daemon mid-run, restart with `--resume`. No accepted job may be
+/// lost, the journal must converge to all-terminal, a subsequent
+/// identical submission is served from cache, and the attack report
+/// records the latency histogram and saturation point.
+#[test]
+fn chaos_sigkill_resume_loses_no_accepted_job() {
+    let _serial = serialized();
+    let mut d = DaemonFixture::start("chaos", &["--workers", "2", "--queue-cost", "8"]);
+    let bench_out = temp("chaos", "bench.json");
+    let _ = std::fs::remove_file(&bench_out);
+
+    // 32 clients × 2 requests over 6 seeds: heavy dedupe/cache traffic
+    // plus enough distinct jobs to keep both workers busy. Ramp mode
+    // hunts the saturation point against the 8-unit queue.
+    let mut attack = Command::new(env!("CARGO_BIN_EXE_npb-attack"))
+        .arg("--socket")
+        .arg(d.socket.as_os_str())
+        .args(["--clients", "32", "--requests", "2", "--seeds", "6"])
+        .args(["--bench", "EP", "--class", "S", "--threads", "2", "--ramp"])
+        .arg("--out")
+        .arg(&bench_out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn npb-attack");
+
+    // Let the attack build up in-flight work, then SIGKILL the daemon —
+    // no drain, no warning, mid-job.
+    std::thread::sleep(Duration::from_millis(1200));
+    assert!(signal::send(d.child.id(), signal::SIGKILL));
+    let _ = d.child.wait();
+
+    // The journal now has accepted jobs with no terminal record.
+    let rec = recover(&d.journal).unwrap();
+    let lost = rec.pending.len();
+
+    // Restart on the same socket and journal with --resume: incomplete
+    // jobs are re-enqueued, verified ones seed the cache. The attack's
+    // clients reconnect on their own.
+    let mut d2 =
+        DaemonFixture::start("chaos", &["--workers", "2", "--queue-cost", "8", "--resume"]);
+    let status = attack.wait().expect("attack exits");
+    assert!(status.success(), "npb-attack must survive the daemon's death");
+
+    // Wait (bounded) for the resumed daemon to finish the re-enqueued
+    // jobs, then every journaled job must have a terminal disposition.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let rec = recover(&d2.journal).unwrap();
+        if rec.pending.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "jobs still pending after resume: {:?}",
+            rec.pending.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    // An identical submission is now a cache hit — served without a
+    // child spawn, proving the resumed daemon kept the results. The
+    // spec must match the attack's byte-for-byte policy (including its
+    // deadline): the policy is part of the content address.
+    let replies = d2
+        .client()
+        .submit(&submit_line(",\"threads\":2,\"deadline_ms\":10000,\"seed\":0"))
+        .unwrap();
+    assert_eq!(replies[0].get("from_cache"), Some(&npb_harness::Json::Bool(true)), "{replies:?}");
+
+    assert_eq!(d2.drain_and_wait(), 0);
+
+    // The interrupted incarnation accepted jobs it never finished; the
+    // resume owed exactly those. (If the SIGKILL landed between jobs,
+    // lost may be 0 — the invariant is convergence, which the loop
+    // above already proved.)
+    eprintln!("chaos: {lost} job(s) in flight at SIGKILL, all recovered");
+
+    // The attack report landed with histogram + saturation point.
+    let report = std::fs::read_to_string(&bench_out).unwrap();
+    let v = npb_harness::Json::parse(report.trim()).unwrap();
+    assert_eq!(v.get_str("bench"), Some("service"));
+    assert!(v.get("latency").is_some(), "latency histogram present: {report}");
+    assert!(v.get("saturation_clients").is_some(), "saturation point recorded: {report}");
+    assert!(v.get_uint("sent").unwrap() >= 64, "all 32 clients × 2 requests sent");
+
+    let _ = std::fs::remove_file(&bench_out);
+    d2.cleanup();
+}
