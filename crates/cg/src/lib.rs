@@ -265,6 +265,13 @@ pub fn verify(class: Class, zeta: f64) -> Verified {
     }
 }
 
+/// Bit-exact signature of an outcome: the integrity hash over the final
+/// zeta (what verification reads), so cross-backend identity checks
+/// reduce to comparing one hex string.
+pub fn result_sig(zeta: f64) -> u64 {
+    npb_core::guard::state_hash(&[&[zeta]])
+}
+
 /// Run the CG benchmark and produce the standard report.
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
     run_with_guard(class, style, team, &GuardConfig::default())
@@ -298,6 +305,8 @@ pub fn run_with_guard(
         checkpoint_count: out.guard.checkpoint_count,
         checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
         regions: Vec::new(),
+        result_sig: Some(result_sig(out.zeta)),
+        rank_dispositions: Vec::new(),
     }
 }
 

@@ -1,0 +1,53 @@
+//! The process exit-code contract of the whole stack, in one place.
+//!
+//! Every layer that *reads* or *produces* driver exit codes — the `npb`
+//! driver itself, the suite supervisor's failure taxonomy, the `npbd`
+//! service — used to re-declare these values as scattered literals.
+//! They are protocol, not implementation detail: a child's exit status
+//! is the one channel that survives process death, so the constants
+//! live in the substrate crate every layer already shares.
+//!
+//! The full contract (also documented in DESIGN.md §6):
+//!
+//! | code          | meaning                                            |
+//! |---------------|----------------------------------------------------|
+//! | 0             | every benchmark verified                           |
+//! | 1             | verification failed, or a region failed beyond the |
+//! |               | retry budget                                       |
+//! | 2             | usage error (bad command line)                     |
+//! | 3             | the in-process region watchdog fired               |
+//! | 128 + signum  | terminated by a signal (the POSIX shell convention)|
+
+/// Exit status used by the safe region watchdog when a parallel region
+/// times out: stuck ranks can be neither killed nor safely abandoned
+/// (the region body borrows from the master's caller), so the process
+/// terminates with this code instead of hanging or returning.
+pub const WATCHDOG_EXIT_CODE: i32 = 3;
+
+/// Exit status for a rejected command line.
+pub const USAGE_EXIT_CODE: i32 = 2;
+
+/// The conventional exit code for a process that died to (or chose to
+/// die after) signal `signum`: `128 + signum`, exactly what a POSIX
+/// shell reports for a signal-terminated child. The `npb` driver's
+/// signal watcher exits with this after flushing its evidence, and the
+/// supervisor's taxonomy reads the same convention back.
+pub fn signal_exit_code(signum: i32) -> i32 {
+    128 + signum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_contract_is_stable() {
+        // These values are parsed back by the harness taxonomy and by
+        // shell scripts; changing them is a protocol break.
+        assert_eq!(WATCHDOG_EXIT_CODE, 3);
+        assert_eq!(USAGE_EXIT_CODE, 2);
+        assert_eq!(signal_exit_code(15), 143, "SIGTERM");
+        assert_eq!(signal_exit_code(9), 137, "SIGKILL");
+        assert_eq!(signal_exit_code(2), 130, "SIGINT");
+    }
+}

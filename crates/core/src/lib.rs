@@ -28,6 +28,7 @@
 pub mod access;
 pub mod class;
 pub mod cli;
+pub mod exit;
 pub mod guard;
 pub mod random;
 pub mod report;
@@ -38,6 +39,7 @@ pub mod verify;
 pub use access::{fmadd, ld, st, Style};
 pub use class::Class;
 pub use cli::expand_flag_args;
+pub use exit::{signal_exit_code, USAGE_EXIT_CODE, WATCHDOG_EXIT_CODE};
 pub use guard::{
     arm_bitflip, bitflip_armed, ArmedBitFlip, GuardAction, GuardConfig, GuardStats, IterationGuard,
     SdcGuard,

@@ -71,6 +71,17 @@ pub struct BenchReport {
     /// Per-region profile from `npb-trace`; empty when tracing was off
     /// (the JSON record then omits the field, keeping the classic shape).
     pub regions: Vec<RegionProfile>,
+    /// Bit-exact signature of the verified quantity (hash of EP's sums,
+    /// of IS's final counts, CG's zeta bits, ...). `Some` when the
+    /// kernel computes one; the JSON record carries it as a hex string
+    /// so cross-backend bit-identity reduces to string equality. `None`
+    /// omits the field, keeping the classic record shape.
+    pub result_sig: Option<u64>,
+    /// Per-rank terminal dispositions from the `procs` backend (e.g.
+    /// `done`, `killed:9`, `exit:101`), one entry per worker process of
+    /// the *last* incarnation; empty for in-process backends (the JSON
+    /// record then omits the field).
+    pub rank_dispositions: Vec<String>,
 }
 
 impl BenchReport {
@@ -119,6 +130,12 @@ impl BenchReport {
                 self.recoveries, self.checkpoint_count, self.checkpoint_overhead_s
             ));
         }
+        // The procs backend reports each worker rank's terminal state,
+        // so a recovered run shows *which* rank died and came back.
+        if !self.rank_dispositions.is_empty() {
+            banner
+                .push_str(&format!("Ranks           = {:>12}\n", self.rank_dispositions.join(" ")));
+        }
         // Likewise the per-region profile: only when tracing ran.
         for r in &self.regions {
             banner.push_str(&format!(
@@ -164,8 +181,21 @@ impl BenchReport {
             self.checkpoint_count,
             self.checkpoint_overhead_s
         );
-        // Appended only when tracing produced a profile, so plain runs
+        // Optional fields are appended only when present, so plain runs
         // keep the exact classic record shape.
+        if let Some(sig) = self.result_sig {
+            json.push_str(&format!(",\"result_sig\":\"{sig:016x}\""));
+        }
+        if !self.rank_dispositions.is_empty() {
+            json.push_str(",\"rank_dispositions\":[");
+            for (i, d) in self.rank_dispositions.iter().enumerate() {
+                if i > 0 {
+                    json.push(',');
+                }
+                json.push_str(&format!("\"{}\"", json_escape(d)));
+            }
+            json.push(']');
+        }
         if !self.regions.is_empty() {
             json.push_str(",\"regions\":[");
             for (i, r) in self.regions.iter().enumerate() {
@@ -244,6 +274,8 @@ mod tests {
             checkpoint_count: 0,
             checkpoint_overhead_s: 0.0,
             regions: Vec::new(),
+            result_sig: None,
+            rank_dispositions: Vec::new(),
         }
     }
 
@@ -321,6 +353,20 @@ mod tests {
         let b = r.banner();
         assert!(b.contains("conj_grad"));
         assert!(b.contains("(imbalance 1.25)"));
+    }
+
+    #[test]
+    fn json_carries_result_sig_and_rank_dispositions_only_when_set() {
+        let mut r = sample();
+        let j = r.to_json(1);
+        assert!(!j.contains("result_sig") && !j.contains("rank_dispositions"));
+        r.result_sig = Some(0x1f);
+        r.rank_dispositions = vec!["done".into(), "killed:9".into()];
+        let j = r.to_json(1);
+        // Fixed-width hex: bit-identity checks are string equality.
+        assert!(j.contains("\"result_sig\":\"000000000000001f\""), "{j}");
+        assert!(j.contains("\"rank_dispositions\":[\"done\",\"killed:9\"]"), "{j}");
+        assert!(r.banner().contains("Ranks           = done killed:9"), "{}", r.banner());
     }
 
     #[test]

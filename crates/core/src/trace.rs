@@ -67,10 +67,16 @@ pub enum SpanKind {
     Dispatch = 3,
     /// An SDC-guard checkpoint rollback (master lane).
     Rollback = 4,
+    /// Cross-process data exchange through the shared-memory segment
+    /// (the `procs` backend's reductions / merges / scatter-gather).
+    Exchange = 5,
+    /// Cross-process futex-barrier wait (the `procs` backend's
+    /// supervised rendezvous, rank-death polling included).
+    ProcBarrier = 6,
 }
 
 /// Number of [`SpanKind`] variants (accumulator table stride).
-pub const NKINDS: usize = 5;
+pub const NKINDS: usize = 7;
 
 impl SpanKind {
     /// Every kind, in discriminant order.
@@ -80,6 +86,8 @@ impl SpanKind {
         SpanKind::BarrierPark,
         SpanKind::Dispatch,
         SpanKind::Rollback,
+        SpanKind::Exchange,
+        SpanKind::ProcBarrier,
     ];
 
     /// Stable lower-case label used in profiles and folded stacks.
@@ -90,6 +98,8 @@ impl SpanKind {
             SpanKind::BarrierPark => "barrier_park",
             SpanKind::Dispatch => "dispatch",
             SpanKind::Rollback => "rollback",
+            SpanKind::Exchange => "exchange",
+            SpanKind::ProcBarrier => "proc_barrier",
         }
     }
 
@@ -255,6 +265,11 @@ pub struct RegionSummary {
     pub barrier_park_secs: f64,
     /// Dispatch wait attributed to this region, summed over ranks.
     pub dispatch_secs: f64,
+    /// Cross-process shared-memory exchange time (`procs` backend).
+    pub exchange_secs: f64,
+    /// Cross-process futex-barrier wait (`procs` backend), supervision
+    /// polling included.
+    pub proc_barrier_secs: f64,
     /// SDC-guard rollbacks recorded inside this region.
     pub rollbacks: u64,
 }
@@ -504,11 +519,18 @@ impl TraceSession {
             let barrier_spin_secs = sum_kind(SpanKind::BarrierSpin);
             let barrier_park_secs = sum_kind(SpanKind::BarrierPark);
             let dispatch_secs = sum_kind(SpanKind::Dispatch);
+            let exchange_secs = sum_kind(SpanKind::Exchange);
+            let proc_barrier_secs = sum_kind(SpanKind::ProcBarrier);
             let rollbacks = at(&master, SpanKind::Rollback).count;
             let worker_compute: f64 = rank_secs.iter().sum();
             if scope.count == 0
                 && worker_compute == 0.0
-                && barrier_spin_secs + barrier_park_secs + dispatch_secs == 0.0
+                && barrier_spin_secs
+                    + barrier_park_secs
+                    + dispatch_secs
+                    + exchange_secs
+                    + proc_barrier_secs
+                    == 0.0
                 && rollbacks == 0
             {
                 continue;
@@ -527,6 +549,8 @@ impl TraceSession {
                 barrier_spin_secs,
                 barrier_park_secs,
                 dispatch_secs,
+                exchange_secs,
+                proc_barrier_secs,
                 rollbacks,
             });
         }
@@ -557,7 +581,8 @@ impl TraceSession {
             format!(
                 "{{\"name\":\"{}\",\"count\":{},\"secs\":{},\"min\":{},\"max\":{},\"mean\":{},\
                  \"imbalance\":{},\"barrier_spin_secs\":{},\"barrier_park_secs\":{},\
-                 \"dispatch_secs\":{},\"barrier_share\":{},\"rollbacks\":{},\"rank_secs\":[{}]}}",
+                 \"dispatch_secs\":{},\"exchange_secs\":{},\"proc_barrier_secs\":{},\
+                 \"barrier_share\":{},\"rollbacks\":{},\"rank_secs\":[{}]}}",
                 json_escape(&r.name),
                 r.count,
                 finite(r.total_secs),
@@ -568,6 +593,8 @@ impl TraceSession {
                 finite(r.barrier_spin_secs),
                 finite(r.barrier_park_secs),
                 finite(r.dispatch_secs),
+                finite(r.exchange_secs),
+                finite(r.proc_barrier_secs),
                 finite(r.barrier_share()),
                 r.rollbacks,
                 r.rank_secs.iter().map(|&v| finite(v).to_string()).collect::<Vec<_>>().join(","),
@@ -611,7 +638,15 @@ impl TraceSession {
                     .iter()
                     .map(|&r| self.lane_data(r).accum[id * NKINDS + kind.index()].count)
                     .sum();
-                if active.is_empty() || matches!(kind, SpanKind::Rollback) {
+                // Master-lane-only kinds (rollbacks, the procs backend's
+                // exchange / cross-process barrier) are included even
+                // when worker lanes are active.
+                if active.is_empty()
+                    || matches!(
+                        kind,
+                        SpanKind::Rollback | SpanKind::Exchange | SpanKind::ProcBarrier
+                    )
+                {
                     let a = master.accum[id * NKINDS + kind.index()];
                     ns += a.total_ns;
                     count += a.count;

@@ -39,10 +39,19 @@ pub struct EpResult {
     pub gc: f64,
 }
 
+/// The seed-jump multiplier `a^(2^(MK+1)) mod 2^46` that advances a
+/// seed by one whole batch — precompute once, pass to every [`batch`].
+pub fn batch_multiplier() -> f64 {
+    ipow46(A, 2 * (1u64 << MK))
+}
+
 /// Run one batch of `2^MK` candidate pairs whose batch index is `k`
 /// (0-based), accumulating into `res`. `x` is the per-thread scratch
-/// buffer of `2^(MK+1)` doubles; `an` is `a^(2^(MK+1)) mod 2^46`.
-fn batch<const SAFE: bool>(k: usize, an: f64, x: &mut [f64], res: &mut EpResult) {
+/// buffer of `2^(MK+1)` doubles; `an` is [`batch_multiplier`]. Public
+/// so the `procs` backend's worker ranks can run exactly the kernel the
+/// thread ranks run — bit-identity across backends falls out of batch
+/// indices being processed in the same order with the same arithmetic.
+pub fn batch<const SAFE: bool>(k: usize, an: f64, x: &mut [f64], res: &mut EpResult) {
     let nk = 1usize << MK;
     debug_assert_eq!(x.len(), 2 * nk);
 
@@ -136,6 +145,14 @@ pub fn verify(class: Class, res: &EpResult) -> Verified {
     }
 }
 
+/// Bit-exact signature of a result: the integrity hash over exactly the
+/// quantities verification reads (the sums and the annulus counts), so
+/// two runs with equal signatures agree to the last bit — the check the
+/// cross-backend (threads vs procs) identity tests and the ci smoke use.
+pub fn result_sig(res: &EpResult) -> u64 {
+    npb_core::guard::state_hash(&[&[res.sx, res.sy], &res.q])
+}
+
 /// Run the EP benchmark: full timed run plus verification and Mop/s
 /// accounting (NPB counts the number of Gaussian pairs per second).
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
@@ -164,6 +181,8 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         checkpoint_count: 0,
         checkpoint_overhead_s: 0.0,
         regions: Vec::new(),
+        result_sig: Some(result_sig(&res)),
+        rank_dispositions: Vec::new(),
     }
 }
 

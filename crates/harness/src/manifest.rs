@@ -27,7 +27,7 @@ use npb_core::report::json_escape;
 use npb_core::{Class, RegionProfile, Style};
 
 use crate::json::Json;
-use crate::outcome::{parse_regions, AttemptOutcome};
+use crate::outcome::{parse_regions, parse_strings, AttemptOutcome};
 
 /// One point of the sweep: a (benchmark, class, style, threads) cell,
 /// run in its own child process.
@@ -126,6 +126,10 @@ pub struct CellOutcome {
     /// empty when the children ran untraced. This is the aggregate the
     /// scalability table is built from on read-back.
     pub regions: Vec<RegionProfile>,
+    /// Per-rank dispositions of the verifying run (`--backend procs`
+    /// sweeps): what each worker process's final state was ("done",
+    /// "killed", "exit:N", "signal:N"). Empty for threads-backend runs.
+    pub rank_dispositions: Vec<String>,
 }
 
 /// Append-only journal writer.
@@ -214,6 +218,11 @@ impl Manifest {
                 .collect();
             extra.push_str(&format!(",\"regions\":[{}]", items.join(",")));
         }
+        if !out.rank_dispositions.is_empty() {
+            let items: Vec<String> =
+                out.rank_dispositions.iter().map(|d| format!("\"{}\"", json_escape(d))).collect();
+            extra.push_str(&format!(",\"rank_dispositions\":[{}]", items.join(",")));
+        }
         self.line(format!(
             "{{\"event\":\"cell\",{},\"outcome\":\"{}\",\"attempts\":{},\"kills\":{},\
              \"final_threads\":{},\"recoveries\":{}{extra}}}",
@@ -287,6 +296,8 @@ pub fn read_manifest(path: &Path) -> std::io::Result<ResumeState> {
             recoveries: v.get_uint("recoveries").unwrap_or(0),
             // Absent in untraced sweeps; absent is empty.
             regions: parse_regions(v.get("regions")),
+            // Absent in threads-backend sweeps; absent is empty.
+            rank_dispositions: parse_strings(v.get("rank_dispositions")),
         });
     }
     Ok(state)
@@ -323,6 +334,7 @@ mod tests {
             time_secs: Some(0.25),
             recoveries: 0,
             regions: Vec::new(),
+            rank_dispositions: Vec::new(),
         }
     }
 

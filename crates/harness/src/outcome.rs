@@ -10,6 +10,7 @@
 use std::process::ExitStatus;
 use std::time::Duration;
 
+use npb_core::exit::{USAGE_EXIT_CODE, WATCHDOG_EXIT_CODE};
 use npb_core::RegionProfile;
 
 use crate::json::Json;
@@ -30,7 +31,7 @@ pub enum AttemptOutcome {
     /// the supervisor built that command line, so a retry would fail
     /// identically.
     UsageError,
-    /// Exit 3 ([`npb_runtime::WATCHDOG_EXIT_CODE`]): the child's
+    /// Exit 3 ([`npb_core::exit::WATCHDOG_EXIT_CODE`]): the child's
     /// in-process watchdog turned a hung region into process death.
     WatchdogExit,
     /// The supervisor's wall-clock deadline expired and the child was
@@ -121,6 +122,10 @@ pub struct ChildReport {
     /// Per-region profile from the child's `--trace` run; empty when
     /// the child ran untraced (the record then omits the field).
     pub regions: Vec<RegionProfile>,
+    /// Per-rank dispositions from a `--backend procs` child ("done",
+    /// "killed", "exit:N", "signal:N"); empty for a threads-backend
+    /// child (the record then omits the field).
+    pub rank_dispositions: Vec<String>,
 }
 
 /// Parse a `regions` array (`[{"name":..,"secs":..,"imbalance":..}]`)
@@ -143,6 +148,22 @@ pub fn parse_regions(v: Option<&Json>) -> Vec<RegionProfile> {
     }
 }
 
+/// Parse a JSON array of strings (non-strings dropped, absent/other
+/// shapes empty) — the `rank_dispositions` field of child records and
+/// manifest cell lines.
+pub fn parse_strings(v: Option<&Json>) -> Vec<String> {
+    match v {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|d| match d {
+                Json::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
 impl ChildReport {
     /// Parse the JSON record emitted by `BenchReport::to_json`.
     pub fn from_json(v: &Json) -> Option<ChildReport> {
@@ -159,6 +180,8 @@ impl ChildReport {
             recoveries: v.get_uint("recoveries").unwrap_or(0),
             // Absent in untraced records; absent is empty.
             regions: parse_regions(v.get("regions")),
+            // Absent in threads-backend records; absent is empty.
+            rank_dispositions: parse_strings(v.get("rank_dispositions")),
         })
     }
 
@@ -192,8 +215,8 @@ pub fn classify_exit(status: ExitStatus, report: Option<ChildReport>) -> Attempt
             Some(r) => AttemptOutcome::VerificationFailed(r),
             None => AttemptOutcome::RegionFailed,
         },
-        Some(2) => AttemptOutcome::UsageError,
-        Some(c) if c == npb_runtime::WATCHDOG_EXIT_CODE => AttemptOutcome::WatchdogExit,
+        Some(c) if c == USAGE_EXIT_CODE => AttemptOutcome::UsageError,
+        Some(c) if c == WATCHDOG_EXIT_CODE => AttemptOutcome::WatchdogExit,
         Some(c) => AttemptOutcome::UnknownExit(c),
         None => {
             #[cfg(unix)]
@@ -229,6 +252,7 @@ mod tests {
             attempts: 1,
             recoveries: 0,
             regions: Vec::new(),
+            rank_dispositions: Vec::new(),
         }
     }
 

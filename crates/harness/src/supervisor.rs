@@ -59,6 +59,11 @@ pub struct SuiteConfig {
     /// Forward `--spin-us US` to every child: the team's hybrid
     /// spin-then-park budget in microseconds (0 = pure park path).
     pub spin_us: Option<u64>,
+    /// Forward `--backend <label>` to every child ("threads" or
+    /// "procs"; validated upstream). With "procs" the degradation
+    /// ladder stops at one rank — there is no serial rung to descend
+    /// to, a process-sharded run needs at least one worker process.
+    pub backend: Option<String>,
     /// Run every child with `--trace` (a throwaway temp file): the
     /// per-region profile then rides the child's `--json` record into
     /// the manifest's cell records, feeding the scalability table.
@@ -183,7 +188,12 @@ pub fn run_cell(
     let mut backoff = Backoff::new(cfg.seed, cell_index, cfg.backoff_base_ms);
     let mut attempts = 0u64;
     let mut kills = 0u64;
-    let rungs = if cfg.degrade { ladder(cell.threads) } else { vec![cell.threads] };
+    let mut rungs = if cfg.degrade { ladder(cell.threads) } else { vec![cell.threads] };
+    // A procs child shards across worker processes: width 0 (serial)
+    // does not exist for it, so the ladder bottoms out at one rank.
+    if cfg.backend.as_deref() == Some("procs") {
+        rungs.retain(|&r| r >= 1);
+    }
     for rung in rungs {
         if rung > cell.threads {
             continue; // unreachable by construction, but cheap to guard
@@ -229,6 +239,7 @@ pub fn run_cell(
                             time_secs: Some(report.time_secs),
                             recoveries: report.recoveries,
                             regions: report.regions,
+                            rank_dispositions: report.rank_dispositions,
                         },
                     );
                 }
@@ -245,6 +256,7 @@ pub fn run_cell(
                             time_secs: None,
                             recoveries: 0,
                             regions: Vec::new(),
+                            rank_dispositions: Vec::new(),
                         },
                     );
                 }
@@ -269,6 +281,7 @@ pub fn run_cell(
                             time_secs: None,
                             recoveries: 0,
                             regions: Vec::new(),
+                            rank_dispositions: Vec::new(),
                         },
                     );
                 }
@@ -298,6 +311,7 @@ pub fn run_cell(
             time_secs: None,
             recoveries: 0,
             regions: Vec::new(),
+            rank_dispositions: Vec::new(),
         },
     )
 }
@@ -385,6 +399,9 @@ fn run_child(
     }
     if let Some(us) = cfg.spin_us {
         cmd.arg("--spin-us").arg(us.to_string());
+    }
+    if let Some(b) = &cfg.backend {
+        cmd.arg("--backend").arg(b);
     }
     // The profile data the supervisor wants rides the --json record;
     // the export file itself is throwaway (unique per attempt so
@@ -479,6 +496,7 @@ mod tests {
             sdc_guard: false,
             checkpoint_every: None,
             spin_us: None,
+            backend: None,
             trace: false,
             degrade: true,
             backoff_base_ms: 0,

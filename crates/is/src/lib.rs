@@ -212,6 +212,14 @@ impl IsBench {
     }
 }
 
+/// Bit-exact signature of a ranking: the integrity hash over the final
+/// key-population counts (the quantity `full_verify` scatters from).
+/// Counts are far below 2^53, so the lift to f64 is exact.
+pub fn result_sig(counts: &[i32]) -> u64 {
+    let as_f64: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    npb_core::guard::state_hash(&[&as_f64])
+}
+
 /// Run the IS benchmark and produce the standard report. NPB counts
 /// Mop/s as ranked keys per second.
 pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
@@ -235,6 +243,8 @@ pub fn run(class: Class, style: Style, team: Option<&Team>) -> BenchReport {
         checkpoint_count: 0,
         checkpoint_overhead_s: 0.0,
         regions: Vec::new(),
+        result_sig: Some(result_sig(&bench.counts)),
+        rank_dispositions: Vec::new(),
     }
 }
 

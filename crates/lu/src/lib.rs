@@ -230,6 +230,8 @@ pub fn run_with_guard(
         checkpoint_count: out.guard.checkpoint_count,
         checkpoint_overhead_s: out.guard.checkpoint_overhead_s,
         regions: Vec::new(),
+        result_sig: None,
+        rank_dispositions: Vec::new(),
     }
 }
 

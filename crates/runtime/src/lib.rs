@@ -45,9 +45,16 @@
 //! fallback (and as the explicit `NPB_SPIN_US=0` configuration). Per-run
 //! scratch that kernels reuse across regions lives in [`RankScratch`].
 
+//!
+//! The multi-*process* generalization of all of the above — rank
+//! sharding across supervised worker processes with shared-memory
+//! exchanges, cross-process futex barriers, and per-rank checkpoint
+//! slots — lives in [`procs`].
+
 mod inject;
 mod partials;
 mod partition;
+pub mod procs;
 mod scratch;
 mod shared;
 mod team;
@@ -55,6 +62,7 @@ mod team;
 pub use inject::{FaultKind, FaultPlan};
 pub use partials::Partials;
 pub use partition::{partition, partition_starts};
+pub use procs::{backend_from_env, parse_backend, Backend};
 pub use scratch::RankScratch;
 pub use shared::SharedMut;
 pub use team::{

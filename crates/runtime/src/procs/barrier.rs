@@ -1,0 +1,140 @@
+//! The PR-4 sense-reversing barrier, generalized across processes: the
+//! generation word doubles as the futex word, so waiters of any process
+//! sleep in the kernel on the same physical cache line the last arriver
+//! bumps. Unlike the in-process barrier there is no poisoning — a dead
+//! rank simply never arrives, which the *supervising* waiter (the
+//! parent) turns into rank-death detection by waiting with short futex
+//! timeouts and polling `waitpid` between them.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use super::shm::ShmSegment;
+use super::sys;
+
+/// A cross-process barrier over two shared atomic words.
+///
+/// `arrive` + `wait` are split so a supervising member can interleave
+/// liveness checks with the futex sleeps; plain members use [`sync`].
+///
+/// [`sync`]: ProcBarrier::sync
+pub struct ProcBarrier<'a> {
+    gen: &'a AtomicU32,
+    count: &'a AtomicU32,
+    members: u32,
+}
+
+impl<'a> ProcBarrier<'a> {
+    /// View a barrier whose generation/count words live at the given
+    /// byte offsets of `seg`; `members` processes participate.
+    pub fn new(seg: &'a ShmSegment, gen_off: usize, count_off: usize, members: u32) -> Self {
+        assert!(members >= 1);
+        ProcBarrier { gen: seg.atomic_u32(gen_off), count: seg.atomic_u32(count_off), members }
+    }
+
+    /// Arrive at the barrier; returns the generation to wait on. The
+    /// last arriver resets the count, bumps the generation (wrapping),
+    /// and wakes every futex waiter in every process.
+    pub fn arrive(&self) -> u32 {
+        let gen = self.gen.load(Ordering::SeqCst);
+        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.members {
+            self.count.store(0, Ordering::SeqCst);
+            self.gen.fetch_add(1, Ordering::SeqCst);
+            sys::futex_wake_all(self.gen);
+        }
+        gen
+    }
+
+    /// Has the generation moved past `gen` (i.e. did the barrier open)?
+    pub fn passed(&self, gen: u32) -> bool {
+        self.gen.load(Ordering::SeqCst) != gen
+    }
+
+    /// Wait (futex sleep) until the barrier opens or `timeout` expires.
+    /// Returns whether it opened. Spurious kernel wakeups are absorbed;
+    /// a `false` return means real elapsed time, the caller's cue to
+    /// check rank liveness or declare the round hung.
+    pub fn wait(&self, gen: u32, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.passed(gen) {
+            let now = Instant::now();
+            if now >= deadline {
+                return self.passed(gen);
+            }
+            sys::futex_wait(self.gen, gen, Some(deadline - now));
+        }
+        true
+    }
+
+    /// Arrive and wait: the plain member's full rendezvous.
+    pub fn sync(&self, timeout: Duration) -> bool {
+        let gen = self.arrive();
+        self.wait(gen, timeout)
+    }
+
+    /// Forcibly clear the arrival count (recovery: every other member
+    /// is dead and reaped, so a partial count is abandoned ranks' —
+    /// without this, the first post-restart barrier would open early).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::shm::{header, ShmLayout};
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn barrier_times_out_without_full_attendance() {
+        let lay = ShmLayout::new(1);
+        let seg = ShmSegment::create(lay.segment_len(), 1).unwrap();
+        let b = ProcBarrier::new(&seg, header::OUTER_GEN, header::OUTER_COUNT, 2);
+        let t0 = Instant::now();
+        assert!(!b.sync(Duration::from_millis(30)), "lone member must time out");
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn barrier_synchronizes_threads_sharing_the_words() {
+        // Thread-level exercise of the exact cross-process code path:
+        // the words live in a real shared mapping either way.
+        let lay = ShmLayout::new(1);
+        let seg = ShmSegment::create(lay.segment_len(), 1).unwrap();
+        let before = AtomicUsize::new(0);
+        const N: usize = 4;
+        const ROUNDS: usize = 50;
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    let b =
+                        ProcBarrier::new(&seg, header::OUTER_GEN, header::OUTER_COUNT, N as u32);
+                    for round in 0..ROUNDS {
+                        before.fetch_add(1, Ordering::SeqCst);
+                        assert!(b.sync(Duration::from_secs(10)), "round {round} hung");
+                        // Everyone arrived before anyone proceeds.
+                        let seen = before.load(Ordering::SeqCst);
+                        assert!(seen >= (round + 1) * N, "round {round}: saw {seen}");
+                    }
+                });
+            }
+        });
+        assert_eq!(before.load(Ordering::SeqCst), N * ROUNDS);
+    }
+
+    #[test]
+    fn reset_discards_a_dead_ranks_arrival() {
+        let lay = ShmLayout::new(1);
+        let seg = ShmSegment::create(lay.segment_len(), 1).unwrap();
+        let b = ProcBarrier::new(&seg, header::INNER_GEN, header::INNER_COUNT, 2);
+        // A rank arrives, then "dies". Recovery resets the count; the
+        // two survivors of the next incarnation must both be required.
+        let _ = b.arrive();
+        b.reset();
+        let gen = b.arrive();
+        assert!(!b.wait(gen, Duration::from_millis(20)), "one arrival must not open it");
+        let _ = b.arrive();
+        assert!(b.passed(gen));
+    }
+}

@@ -1,0 +1,171 @@
+//! Raw OS shims for the `procs` backend: shared-memory segments and
+//! cross-process futexes, declared in-tree (the build is hermetic — no
+//! libc crate), following the `extern "C"` pattern established by the
+//! service's signal module.
+//!
+//! Everything here wraps a glibc entry point except the futex calls:
+//! glibc exposes no `futex()` wrapper, so those go through the variadic
+//! `syscall()` entry point with the architecture's syscall number.
+
+use std::io;
+use std::sync::atomic::AtomicU32;
+use std::time::Duration;
+
+extern "C" {
+    /// Anonymous memory file: the shared segment every rank maps. The
+    /// fd is created *without* `MFD_CLOEXEC` so it survives the
+    /// fork/exec into the worker ranks (std sets CLOEXEC only on fds it
+    /// opens itself).
+    fn memfd_create(name: *const u8, flags: u32) -> i32;
+    fn ftruncate(fd: i32, length: i64) -> i32;
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+    fn close(fd: i32) -> i32;
+    /// Variadic syscall trampoline — the futex door.
+    fn syscall(num: i64, ...) -> i64;
+}
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 1;
+
+#[cfg(target_arch = "x86_64")]
+const SYS_FUTEX: i64 = 202;
+#[cfg(target_arch = "aarch64")]
+const SYS_FUTEX: i64 = 98;
+
+/// Futex ops, deliberately *without* `FUTEX_PRIVATE_FLAG`: the whole
+/// point is waking waiters in other processes mapping the same pages.
+const FUTEX_WAIT: i64 = 0;
+const FUTEX_WAKE: i64 = 1;
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// Create an anonymous shared-memory file of `len` bytes. The returned
+/// fd is inheritable (no CLOEXEC) by design: the parent passes its
+/// number to each worker rank on the command line.
+pub fn create_shared_fd(len: usize) -> io::Result<i32> {
+    // SAFETY: NUL-terminated static name; flags=0 is the inheritable
+    // (non-CLOEXEC) variant we need.
+    let fd = unsafe { memfd_create(c"npb-procs".as_ptr().cast(), 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: fd is a fresh memfd we own.
+    if unsafe { ftruncate(fd, len as i64) } != 0 {
+        let e = io::Error::last_os_error();
+        unsafe { close(fd) };
+        return Err(e);
+    }
+    Ok(fd)
+}
+
+/// Map `len` bytes of `fd` shared and read-write.
+pub fn map_shared(fd: i32, len: usize) -> io::Result<*mut u8> {
+    // SAFETY: requesting a fresh kernel-chosen mapping of a file we
+    // hold open; failure is reported as MAP_FAILED (-1).
+    let p = unsafe { mmap(std::ptr::null_mut(), len, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0) };
+    if p as isize == -1 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(p)
+}
+
+/// Unmap a mapping produced by [`map_shared`].
+///
+/// # Safety
+/// `ptr`/`len` must be exactly what `map_shared` returned, with no live
+/// references into the mapping.
+pub unsafe fn unmap(ptr: *mut u8, len: usize) {
+    munmap(ptr, len);
+}
+
+/// Close an fd owned by the caller.
+pub fn close_fd(fd: i32) {
+    // SAFETY: caller owns the fd.
+    unsafe { close(fd) };
+}
+
+/// Block until `*addr != expected`, a wake arrives, or `timeout`
+/// expires. Spurious returns (EINTR, EAGAIN, timeout) are fine by
+/// contract: the caller always rechecks its predicate in a loop.
+pub fn futex_wait(addr: &AtomicU32, expected: u32, timeout: Option<Duration>) {
+    let addr = addr as *const AtomicU32;
+    match timeout {
+        Some(d) => {
+            let ts = Timespec { tv_sec: d.as_secs() as i64, tv_nsec: i64::from(d.subsec_nanos()) };
+            // SAFETY: addr points at a live, 4-byte-aligned atomic; the
+            // timespec outlives the call.
+            unsafe {
+                syscall(SYS_FUTEX, addr, FUTEX_WAIT, expected as i64, &ts as *const Timespec)
+            };
+        }
+        None => {
+            // SAFETY: as above, with no timeout argument.
+            unsafe {
+                syscall(SYS_FUTEX, addr, FUTEX_WAIT, expected as i64, std::ptr::null::<Timespec>())
+            };
+        }
+    }
+}
+
+/// Wake every futex waiter on `addr` (in any process).
+pub fn futex_wake_all(addr: &AtomicU32) {
+    let addr = addr as *const AtomicU32;
+    // SAFETY: addr points at a live, 4-byte-aligned atomic.
+    unsafe { syscall(SYS_FUTEX, addr, FUTEX_WAKE, i64::from(i32::MAX)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn shared_fd_create_map_write_read() {
+        let fd = create_shared_fd(4096).expect("memfd_create");
+        let p = map_shared(fd, 4096).expect("mmap");
+        // A second, independent mapping of the same pages must see the
+        // first mapping's writes — that is the whole backend's premise.
+        let q = map_shared(fd, 4096).expect("second mmap");
+        assert_ne!(p, q);
+        // SAFETY: both mappings are live and 4096 bytes long.
+        unsafe {
+            (*(p as *const AtomicU32)).store(0xfeed_beef, Ordering::SeqCst);
+            assert_eq!((*(q as *const AtomicU32)).load(Ordering::SeqCst), 0xfeed_beef);
+            unmap(p, 4096);
+            unmap(q, 4096);
+        }
+        close_fd(fd);
+    }
+
+    #[test]
+    fn futex_wait_times_out_and_wake_releases() {
+        let word = AtomicU32::new(0);
+        // Timeout path: value still matches, so the wait blocks until
+        // the (short) timeout expires.
+        let t0 = std::time::Instant::now();
+        futex_wait(&word, 0, Some(Duration::from_millis(10)));
+        assert!(t0.elapsed() >= Duration::from_millis(5), "timed wait returned early");
+        // Mismatch path: returns immediately (EAGAIN).
+        let t0 = std::time::Instant::now();
+        futex_wait(&word, 1, Some(Duration::from_secs(5)));
+        assert!(t0.elapsed() < Duration::from_secs(1), "mismatched wait blocked");
+        // Wake path: a waiter blocked on the old value is released.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                while word.load(Ordering::SeqCst) == 0 {
+                    futex_wait(&word, 0, Some(Duration::from_secs(5)));
+                }
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            word.store(1, Ordering::SeqCst);
+            futex_wake_all(&word);
+            h.join().unwrap();
+        });
+    }
+}

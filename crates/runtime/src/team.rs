@@ -146,10 +146,10 @@ pub struct BarrierPoisoned;
 pub struct InjectedFault;
 
 /// Process exit status used by the safe watchdog ([`Team::set_region_timeout`])
-/// when a region times out: stuck ranks can be neither killed nor safely
-/// abandoned (the region body borrows from the master's caller), so the
-/// process terminates with this code instead of hanging or returning.
-pub const WATCHDOG_EXIT_CODE: i32 = 3;
+/// when a region times out. Defined in [`npb_core::exit`] (the one
+/// exit-code contract module); re-exported here because the watchdog is
+/// where the code is produced.
+pub use npb_core::exit::WATCHDOG_EXIT_CODE;
 
 /// Default spin budget in microseconds before a waiter parks on its
 /// condvar. Sized so that back-to-back regions (the NPB hot path: a
@@ -1540,6 +1540,24 @@ mod tests {
             let err = parse_spin_us(bad).expect_err(&format!("{bad:?} must not parse"));
             assert!(err.contains(&format!("{bad:?}")), "warning must name the value: {err}");
             assert!(err.contains("default"), "warning must state the fallback: {err}");
+        }
+    }
+
+    #[test]
+    fn backend_env_parsing_matches_the_warn_once_contract() {
+        // Same parity as NPB_REGION_TIMEOUT_MS / NPB_SPIN_US: the two
+        // valid spellings parse (whitespace tolerated), and a malformed
+        // NPB_BACKEND is a loud error naming the bad value and stating
+        // the fallback — never a silent change of execution backend.
+        use crate::procs::{parse_backend, Backend};
+        assert_eq!(parse_backend("threads"), Ok(Backend::Threads));
+        assert_eq!(parse_backend("procs"), Ok(Backend::Procs));
+        assert_eq!(parse_backend(" procs "), Ok(Backend::Procs), "whitespace is tolerated");
+        for bad in ["Procs", "proc", "mpi", "", "threads,procs", "1"] {
+            let err = parse_backend(bad).expect_err(&format!("{bad:?} must not parse"));
+            assert!(err.contains("NPB_BACKEND"), "warning must name the variable: {err}");
+            assert!(err.contains(&format!("{bad:?}")), "warning must name the value: {err}");
+            assert!(err.contains("threads backend"), "warning must state the fallback: {err}");
         }
     }
 

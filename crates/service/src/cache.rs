@@ -240,6 +240,7 @@ mod tests {
             time_secs: Some(1.0),
             recoveries: 1,
             regions: Vec::new(),
+            rank_dispositions: Vec::new(),
         };
         let r = JobResult::from_outcome(&o);
         assert!(r.verified());

@@ -45,6 +45,7 @@ pub fn suite_config(cfg: &ExecConfig, spec: &JobSpec) -> SuiteConfig {
         sdc_guard: p.sdc_guard,
         checkpoint_every: p.checkpoint_every,
         spin_us: p.spin_us,
+        backend: p.backend.clone(),
         trace: false,
         degrade: p.degrade,
         backoff_base_ms: cfg.backoff_base_ms,
@@ -114,6 +115,7 @@ mod tests {
             checkpoint_every: Some(2),
             spin_us: Some(0),
             inject: Some("hang:0".into()),
+            backend: Some("procs".into()),
         };
         let cfg = suite_config(&exec, &spec);
         assert_eq!(cfg.deadline, Some(Duration::from_millis(250)), "policy overrides");
@@ -122,6 +124,7 @@ mod tests {
         assert_eq!(cfg.checkpoint_every, Some(2));
         assert_eq!(cfg.spin_us, Some(0));
         assert_eq!(cfg.inject.as_deref(), Some("hang:0"));
+        assert_eq!(cfg.backend.as_deref(), Some("procs"));
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct JobPolicy {
     /// One-shot fault spec forwarded to the first attempt (chaos
     /// testing; validated by the child, retries run clean).
     pub inject: Option<String>,
+    /// Execution backend label forwarded to the child ("threads" or
+    /// "procs"); `None` = the child's own default. With "procs" the
+    /// job runs process-sharded with rank-crash containment and the
+    /// degradation ladder bottoms out at one rank.
+    pub backend: Option<String>,
 }
 
 impl Default for JobPolicy {
@@ -74,6 +79,7 @@ impl Default for JobPolicy {
             checkpoint_every: None,
             spin_us: None,
             inject: None,
+            backend: None,
         }
     }
 }
@@ -99,7 +105,7 @@ impl JobSpec {
     pub fn canonical_key(&self) -> String {
         let p = &self.policy;
         format!(
-            "{}/{}/{}/t{}/s{}/d{}/r{}/l{}/g{}/k{}/u{}/i{}",
+            "{}/{}/{}/t{}/s{}/d{}/r{}/l{}/g{}/k{}/u{}/i{}/b{}",
             self.bench,
             self.class,
             self.style.label(),
@@ -112,6 +118,7 @@ impl JobSpec {
             p.checkpoint_every.map_or(-1i64, |v| v as i64),
             p.spin_us.map_or(-1i64, |v| v as i64),
             p.inject.as_deref().unwrap_or("-"),
+            p.backend.as_deref().unwrap_or("-"),
         )
     }
 
@@ -131,7 +138,7 @@ impl JobSpec {
         format!(
             "\"bench\":\"{}\",\"class\":\"{}\",\"style\":\"{}\",\"threads\":{},\"seed\":{},\
              \"deadline_ms\":{},\"retries\":{},\"degrade\":{},\"sdc_guard\":{},\
-             \"checkpoint_every\":{},\"spin_us\":{},\"inject\":{}",
+             \"checkpoint_every\":{},\"spin_us\":{},\"inject\":{},\"backend\":{}",
             json_escape(&self.bench),
             self.class,
             self.style.label(),
@@ -144,6 +151,7 @@ impl JobSpec {
             opt(p.checkpoint_every.map(|v| v as u64)),
             opt(p.spin_us),
             p.inject.as_deref().map_or("null".to_string(), |s| format!("\"{}\"", json_escape(s))),
+            p.backend.as_deref().map_or("null".to_string(), |s| format!("\"{}\"", json_escape(s))),
         )
     }
 
@@ -209,6 +217,16 @@ impl JobSpec {
                     None | Some(Json::Null) => None,
                     Some(Json::Str(s)) => Some(s.clone()),
                     Some(_) => return Err("\"inject\" must be a string or null".into()),
+                },
+                backend: match v.get("backend") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) if s == "threads" || s == "procs" => Some(s.clone()),
+                    Some(Json::Str(s)) => {
+                        return Err(format!(
+                            "\"backend\" must be \"threads\" or \"procs\", not {s:?}"
+                        ))
+                    }
+                    Some(_) => return Err("\"backend\" must be a string or null".into()),
                 },
             },
         })

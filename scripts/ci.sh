@@ -114,6 +114,21 @@ svc_pid=""
 grep -q '"ev":"done".*"kills":1' "$svc_dir/journal.jsonl"
 grep -q '"ev":"shutdown"' "$svc_dir/journal.jsonl"
 
+echo "== procs backend smoke (process-sharded execution) =="
+# The process-sharded backend must agree with the threads backend to
+# the last bit at equal width, and an injected rank panic must be
+# contained by a checkpoint restore (recoveries journaled, exit 0).
+threads_out="$(target/release/npb ep --class S --backend threads --threads 4 --json)"
+procs_out="$(target/release/npb ep --class S --backend procs --threads 4 --json)"
+threads_sig="$(echo "$threads_out" | grep -o '"result_sig":"[^"]*"')"
+procs_sig="$(echo "$procs_out" | grep -o '"result_sig":"[^"]*"')"
+test -n "$threads_sig"
+test "$threads_sig" = "$procs_sig"
+crash_out="$(target/release/npb cg --class S --backend procs --threads 4 --inject panic --json)"
+echo "$crash_out" | grep -q '"verified":"success"'
+recoveries="$(echo "$crash_out" | grep -o '"recoveries":[0-9]*' | cut -d: -f2)"
+test "${recoveries:-0}" -ge 1
+
 echo "== spin-vs-park equivalence (explicit park path) =="
 # Pin the paper's pure wait/notify path via the environment so it never
 # bit-rots: the full consistency suite must pass with spinning disabled,

@@ -38,6 +38,11 @@
 //!   their in-process watchdog (exit 3) under the supervisor's deadline;
 //! * `--spin-us` forwards the team's hybrid spin-then-park budget to
 //!   every child (`0` = the pure park path, the paper's wait/notify);
+//! * `--backend threads|procs` forwards the execution backend to every
+//!   child; with `procs` each cell shards across worker *processes*
+//!   (rank-crash containment, checkpoint restart), the degradation
+//!   ladder bottoms out at one rank, and the verifying child's
+//!   per-rank dispositions ride its record into the manifest;
 //! * `--trace` runs every child with the `npb-trace` span recorder: the
 //!   per-region profile rides each child's `--json` record into the
 //!   manifest's cell records, and the final summary prints a
@@ -64,16 +69,17 @@ fn usage() -> ! {
          \x20         [--deadline-ms MS] [--retries N] [--inject {}[:SEED]]\n\
          \x20         [--sdc-guard] [--checkpoint-every K] [--spin-us US]\n\
          \x20         [--backoff-ms MS] [--seed N] [--child-timeout-ms MS]\n\
-         \x20         [--manifest PATH] [--resume PATH] [--npb-bin PATH] [--trace]",
+         \x20         [--backend threads|procs] [--manifest PATH] [--resume PATH]\n\
+         \x20         [--npb-bin PATH] [--trace]",
         BENCHMARKS.join("|"),
         FaultPlan::KINDS
     );
-    std::process::exit(2);
+    std::process::exit(npb::USAGE_EXIT_CODE);
 }
 
 fn fail(msg: &str) -> ! {
     eprintln!("npb-suite: {msg}");
-    std::process::exit(2);
+    std::process::exit(npb::USAGE_EXIT_CODE);
 }
 
 /// Locate the `npb` driver binary: an explicit `--npb-bin`, or the
@@ -130,6 +136,7 @@ fn main() {
     let mut sdc_guard = false;
     let mut checkpoint_every: Option<usize> = None;
     let mut spin_us: Option<u64> = None;
+    let mut backend: Option<String> = None;
     let mut manifest_path: Option<PathBuf> = None;
     let mut resume_path: Option<PathBuf> = None;
     let mut npb_bin: Option<PathBuf> = None;
@@ -190,6 +197,13 @@ fn main() {
                 }
             }
             "--spin-us" => spin_us = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--backend" => {
+                let b = npb::parse_backend(&val(&mut it)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                backend = Some(b.label().to_string());
+            }
             "--manifest" => manifest_path = Some(PathBuf::from(val(&mut it))),
             "--resume" => resume_path = Some(PathBuf::from(val(&mut it))),
             "--npb-bin" => npb_bin = Some(PathBuf::from(val(&mut it))),
@@ -213,6 +227,15 @@ fn main() {
                  includes a serial (--threads 0) width"
             ));
         }
+    }
+
+    // A procs child shards across worker processes; a serial width has
+    // no rank to shard to, so reject it up front like worker faults.
+    if backend.as_deref() == Some("procs") && threads.contains(&0) {
+        fail(
+            "--backend procs needs at least one rank, but the sweep includes a serial \
+             (--threads 0) width",
+        );
     }
 
     if manifest_path.is_some() && resume_path.is_some() {
@@ -269,6 +292,7 @@ fn main() {
         sdc_guard,
         checkpoint_every,
         spin_us,
+        backend,
         trace,
         degrade: true,
         backoff_base_ms: backoff_ms,

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! npb <BENCH|all> [CLASS] [--class S|W|A|B|C] [--style opt|safe] [--threads N]
+//!                 [--backend threads|procs] [--max-recoveries N]
 //!                 [--spin-us US] [--timeout MS]
 //!                 [--inject panic|delay|hang|nan|bitflip[:SEED]]
 //!                 [--retries N] [--sdc-guard] [--checkpoint-every K] [--json]
@@ -11,6 +12,16 @@
 //! `--threads 0` (default) is the pure serial path. The class can be
 //! given positionally (`npb cg S`) or via `--class`; every value flag
 //! also accepts the `--flag=value` spelling.
+//!
+//! `--backend procs` shards the domain across `--threads` worker
+//! *processes* instead of threads (EP, IS and CG): the parent spawns
+//! `npb <bench> --rank R/N` workers against a shared-memory segment,
+//! supervises their PIDs, and answers a rank crash or hang by restoring
+//! every rank from the last integrity-hashed checkpoint and respawning
+//! (`--max-recoveries N` bounds the attempts, default 4; `--timeout MS`
+//! doubles as the per-round hang deadline). Results are bit-identical
+//! to `--backend threads` at the same width. `NPB_BACKEND` sets the
+//! default from the environment.
 //!
 //! `--spin-us US` sets the team's hybrid-synchronization spin budget in
 //! microseconds (waiters spin that long on the lock-free fast path
@@ -56,28 +67,30 @@
 //!   profile (regions + raw spans), or flamegraph-compatible collapsed
 //!   stacks (`region;kind <ns>` — feed to `flamegraph.pl`).
 //!
-//! Exit codes: 0 all benchmarks verified; 1 a benchmark failed
-//! verification or its region failed beyond the retry budget; 2 usage
-//! error; 3 the region watchdog fired.
+//! Exit codes (the shared `npb_core::exit` contract): 0 all benchmarks
+//! verified; 1 a benchmark failed verification or its region failed
+//! beyond the retry budget; 2 usage error; 3 the region watchdog fired;
+//! 128+signum death by signal.
 
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use npb::{
-    expand_flag_args, parse_checkpoint_every, try_run_benchmark, Class, FaultPlan, GuardConfig,
-    RunError, RunOptions, Style, TraceFormat, BENCHMARKS,
+    backend_from_env, expand_flag_args, parse_backend, parse_checkpoint_every, try_run_benchmark,
+    Class, FaultPlan, GuardConfig, RunError, RunOptions, Style, TraceFormat, BENCHMARKS,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: npb <{}|all> [CLASS] [--class S|W|A|B|C] [--style opt|safe] [--threads N]\n\
+         \x20          [--backend threads|procs] [--max-recoveries N]\n\
          \x20          [--spin-us US] [--timeout MS] [--inject {}[:SEED]] [--retries N]\n\
          \x20          [--sdc-guard] [--checkpoint-every K] [--json]\n\
          \x20          [--trace PATH] [--trace-format json|folded]",
         BENCHMARKS.join("|"),
         FaultPlan::KINDS
     );
-    std::process::exit(2);
+    std::process::exit(npb::USAGE_EXIT_CODE);
 }
 
 fn main() {
@@ -105,6 +118,8 @@ fn main() {
     let mut class = Class::S;
     let mut style = Style::Opt;
     let mut threads = 0usize;
+    let mut backend = backend_from_env();
+    let mut max_recoveries: Option<usize> = None;
     let mut spin_us: Option<u64> = None;
     let mut timeout: Option<Duration> = None;
     let mut inject: Option<FaultPlan> = None;
@@ -116,6 +131,16 @@ fn main() {
 
     // Accept `--flag=value` as well as `--flag value`.
     let expanded = expand_flag_args(&args[1..]);
+
+    // Hidden worker mode: the procs backend re-enters this binary as
+    // `npb <bench> --rank R/N --shm-fd FD --shm-len LEN`. Dispatch
+    // before the parent-mode flag loop (the worker's flags are not
+    // parent flags) and without the signal watcher — a worker's death
+    // is the parent's supervision event, not a report channel.
+    if expanded.iter().any(|a| a == "--rank") {
+        std::process::exit(npb::procs::worker_main(&which, &expanded));
+    }
+
     let mut it = expanded.iter();
     while let Some(flag) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| -> String {
@@ -135,6 +160,15 @@ fn main() {
                 })
             }
             "--threads" | "-t" => threads = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--backend" => {
+                backend = parse_backend(&val(&mut it)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--max-recoveries" => {
+                max_recoveries = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
             "--spin-us" => spin_us = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
             "--timeout" => {
                 let ms: u64 = val(&mut it).parse().unwrap_or_else(|_| usage());
@@ -199,7 +233,7 @@ fn main() {
                     npb::BenchReport::interrupted_json(&name, class, style, threads, sig)
                 );
             }
-            std::process::exit(128 + sig);
+            std::process::exit(npb::signal_exit_code(sig));
         });
     }
 
@@ -217,6 +251,8 @@ fn main() {
                 spin_us,
                 trace: trace_path.as_deref(),
                 trace_format,
+                backend,
+                max_recoveries,
             };
             match try_run_benchmark(name, class, style, threads, &opts) {
                 Ok(report) => {

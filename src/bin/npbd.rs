@@ -45,7 +45,7 @@ fn usage() -> ! {
          \x20           [--npb-bin PATH] [--workers N] [--queue-cost UNITS]\n\
          \x20           [--deadline-ms MS] [--backoff-ms MS]"
     );
-    std::process::exit(2);
+    std::process::exit(npb_core::USAGE_EXIT_CODE);
 }
 
 fn main() {
@@ -96,7 +96,7 @@ fn main() {
     });
     if !npb_bin.is_file() {
         eprintln!("npbd: npb binary not found at {} (use --npb-bin)", npb_bin.display());
-        std::process::exit(2);
+        std::process::exit(npb_core::USAGE_EXIT_CODE);
     }
 
     let cfg = ServerConfig {

@@ -22,12 +22,15 @@
 //! column of the paper's tables); `threads >= 1` spawns that many
 //! persistent workers.
 
+pub mod procs;
+
+pub use npb_core::exit::{signal_exit_code, USAGE_EXIT_CODE};
 pub use npb_core::guard::parse_checkpoint_every;
 pub use npb_core::trace::{self, TraceFormat, TraceSession};
 pub use npb_core::{BenchReport, Class, GuardConfig, GuardStats, RegionProfile, Style, Verified};
 pub use npb_runtime::{
-    BarrierPoisoned, FailurePolicy, FaultKind, FaultPlan, InjectedFault, Par, Partials,
-    RegionError, SharedMut, Team, WATCHDOG_EXIT_CODE,
+    backend_from_env, parse_backend, Backend, BarrierPoisoned, FailurePolicy, FaultKind, FaultPlan,
+    InjectedFault, Par, Partials, RegionError, SharedMut, Team, WATCHDOG_EXIT_CODE,
 };
 
 pub use npb_core::{expand_flag_args, BENCHMARKS};
@@ -101,6 +104,17 @@ pub struct RunOptions<'p> {
     pub trace: Option<&'p Path>,
     /// Export format for `trace` (`--trace-format`, default JSON).
     pub trace_format: TraceFormat,
+    /// Execution backend (`--backend`): the default in-process worker
+    /// threads, or [`Backend::Procs`] — one worker *process* per rank,
+    /// exchanging through shared memory under a supervising parent that
+    /// survives rank death via checkpoint restart. Defaults to the
+    /// `NPB_BACKEND` environment value (threads when unset).
+    pub backend: Backend,
+    /// Recovery budget for the procs backend (`--max-recoveries`): how
+    /// many rank-death/hang recoveries the supervisor attempts before
+    /// surfacing the failure as a [`RunError::Region`]. `None` keeps
+    /// the default (4). Ignored by the threads backend.
+    pub max_recoveries: Option<usize>,
 }
 
 /// Run one benchmark by name.
@@ -142,15 +156,21 @@ pub fn try_run_benchmark(
     if !BENCHMARKS.contains(&name.as_str()) {
         return Err(RunError::Unknown(UnknownBenchmark(name)));
     }
-    let team = if threads == 0 { None } else { Some(Team::new(threads)) };
+    // The procs backend spawns worker *processes*, not a thread team;
+    // the fault plan crosses the exec boundary as a worker flag instead
+    // of being armed in-process (see `procs::run_procs`).
+    let procs_mode = opts.backend == Backend::Procs;
+    let team = if threads == 0 || procs_mode { None } else { Some(Team::new(threads)) };
     if let (Some(t), Some(d)) = (team.as_ref(), opts.timeout) {
         t.set_region_timeout(Some(d));
     }
     if let (Some(t), Some(us)) = (team.as_ref(), opts.spin_us) {
         t.set_spin_us(us);
     }
-    if let Some(plan) = opts.inject {
-        plan.arm(team.as_ref()).map_err(RunError::Config)?;
+    if !procs_mode {
+        if let Some(plan) = opts.inject {
+            plan.arm(team.as_ref()).map_err(RunError::Config)?;
+        }
     }
     // Tracing: an already-installed session (in-process tests install one
     // around this call) is reused; otherwise a session is created only
@@ -179,16 +199,21 @@ pub fn try_run_benchmark(
     // payload (`Team::exec`); catch it here so the whole failure path —
     // from a dying worker thread to the caller — is structured.
     let g = &opts.guard;
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match name.as_str() {
-        "BT" => npb_bt::run_with_guard(class, style, t, g),
-        "SP" => npb_sp::run_with_guard(class, style, t, g),
-        "LU" => npb_lu::run_with_guard(class, style, t, g),
-        "FT" => npb_ft::run_with_guard(class, style, t, g),
-        "IS" => npb_is::run(class, style, t),
-        "CG" => npb_cg::run_with_guard(class, style, t, g),
-        "MG" => npb_mg::run_with_guard(class, style, t, g),
-        "EP" => npb_ep::run(class, style, t),
-        _ => unreachable!("validated against BENCHMARKS above"),
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if procs_mode {
+            return procs::run_procs(&name, class, style, threads, opts);
+        }
+        Ok(match name.as_str() {
+            "BT" => npb_bt::run_with_guard(class, style, t, g),
+            "SP" => npb_sp::run_with_guard(class, style, t, g),
+            "LU" => npb_lu::run_with_guard(class, style, t, g),
+            "FT" => npb_ft::run_with_guard(class, style, t, g),
+            "IS" => npb_is::run(class, style, t),
+            "CG" => npb_cg::run_with_guard(class, style, t, g),
+            "MG" => npb_mg::run_with_guard(class, style, t, g),
+            "EP" => npb_ep::run(class, style, t),
+            _ => unreachable!("validated against BENCHMARKS above"),
+        })
     }));
     // Detach the session from the team and the global slot before
     // reporting, whatever happened inside the region.
@@ -199,7 +224,15 @@ pub fn try_run_benchmark(
         trace::uninstall();
     }
     match result {
-        Ok(mut report) => {
+        Ok(Err(e)) => {
+            // A procs-backend failure (recovery budget exhausted, spawn
+            // error): flush the partial profile, surface the error.
+            if let (Some(s), Some(_)) = (&session, opts.trace) {
+                let _ = s.write_output(false);
+            }
+            Err(e)
+        }
+        Ok(Ok(mut report)) => {
             if let Some(s) = &session {
                 s.set_wall_secs(report.time_secs);
                 report.regions = s

@@ -405,3 +405,160 @@ fn driver_watchdog_fires_while_workers_are_spinning() {
     assert_eq!(out.status.code(), Some(npb::WATCHDOG_EXIT_CODE), "stderr: {stderr}");
     assert!(stderr.contains("never arrived"), "stderr: {stderr}");
 }
+
+// ---- procs backend: rank-crash containment ---------------------------
+//
+// The tentpole acceptance criteria: SIGKILL of any single worker rank
+// mid-run ends in a verified run with `recoveries >= 1` journaled and
+// never a hung parent, and a procs run is bit-identical to a threads
+// run at the same width.
+
+/// The last `--json` record a driver printed, parsed.
+fn last_json(stdout: &[u8]) -> Json {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .rev()
+        .map(str::trim)
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no json record in stdout: {text}"));
+    Json::parse(line).expect("parse driver json record")
+}
+
+/// PPid of `/proc/<pid>`, if it still exists.
+fn ppid_of(pid: &str) -> Option<u32> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    status.lines().find(|l| l.starts_with("PPid:"))?.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Poll /proc for a worker-rank child of `parent` (cmdline carries the
+/// hidden `--rank` flag). The pacing env var keeps S-class rounds slow
+/// enough that the worker is alive for seconds, not milliseconds.
+fn find_worker_rank(parent: u32, within: Duration) -> u32 {
+    let deadline = std::time::Instant::now() + within;
+    while std::time::Instant::now() < deadline {
+        for entry in std::fs::read_dir("/proc").expect("read /proc").flatten() {
+            let name = entry.file_name();
+            let Some(pid) = name.to_str().filter(|n| n.bytes().all(|b| b.is_ascii_digit())) else {
+                continue;
+            };
+            if ppid_of(pid) != Some(parent) {
+                continue;
+            }
+            let cmdline = std::fs::read(format!("/proc/{pid}/cmdline")).unwrap_or_default();
+            if cmdline.split(|&b| b == 0).any(|arg| arg == b"--rank") {
+                return pid.parse().unwrap();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("no worker rank appeared under pid {parent} within {within:?}");
+}
+
+/// SIGKILL one worker rank of a paced procs run and return the parent's
+/// output. `extra` rides on the command line (the recovery-budget knob).
+fn run_procs_and_kill_rank(bench: &str, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_npb"));
+    cmd.args([bench, "--class", "S", "--backend", "procs", "--threads", "4", "--json"])
+        .args(extra)
+        .env("NPB_PROCS_ROUND_DELAY_MS", "150")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    let child = cmd.spawn().expect("spawn procs parent");
+    let victim = find_worker_rank(child.id(), Duration::from_secs(20));
+    // Let the ranks commit a checkpoint or two first, so the recovery
+    // exercises restore-from-checkpoint, not restart-from-scratch.
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(npb_service::signal::send(victim, 9), "SIGKILL rank pid {victim}");
+    guarded(120, move || child.wait_with_output().expect("reap procs parent"))
+}
+
+fn assert_kill_one_rank_is_contained(bench: &'static str) {
+    let out = run_procs_and_kill_rank(bench, &[]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("died (signal:9)"), "stderr: {stderr}");
+    let record = last_json(&out.stdout);
+    assert_eq!(record.get_str("verified"), Some("success"), "stderr: {stderr}");
+    assert!(record.get_uint("recoveries").unwrap_or(0) >= 1, "recovery must be journaled");
+}
+
+#[test]
+fn procs_ep_survives_sigkill_of_one_rank() {
+    assert_kill_one_rank_is_contained("ep");
+}
+
+#[test]
+fn procs_is_survives_sigkill_of_one_rank() {
+    assert_kill_one_rank_is_contained("is");
+}
+
+#[test]
+fn procs_sigkill_without_recovery_budget_fails_terminally() {
+    // The unguarded control: with the recovery budget at zero the same
+    // rank death must end the run with a structured failure (exit 1),
+    // not a verified report and not a hung parent.
+    let out = run_procs_and_kill_rank("ep", &["--max-recoveries", "0"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("panicked inside a parallel region"), "stderr: {stderr}");
+}
+
+#[test]
+fn procs_injected_panic_recovers_from_checkpoints() {
+    // The deterministic (raceless) leg of crash containment: the
+    // injected fault fires at the first round after every rank
+    // committed a checkpoint, so the recovery proves restore.
+    let out = npb(&[
+        "ep",
+        "--class",
+        "S",
+        "--backend",
+        "procs",
+        "--threads",
+        "2",
+        "--inject",
+        "panic",
+        "--json",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let record = last_json(&out.stdout);
+    assert_eq!(record.get_str("verified"), Some("success"));
+    assert!(record.get_uint("recoveries").unwrap_or(0) >= 1, "stderr: {stderr}");
+}
+
+#[test]
+fn procs_rejects_in_process_corruption_faults() {
+    // NaN/bit-flip faults corrupt in-process state and cannot cross the
+    // exec boundary; the driver must say so instead of silently
+    // ignoring the flag.
+    let out =
+        npb(&["cg", "--class", "S", "--backend", "procs", "--threads", "2", "--inject", "bitflip"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot cross the procs exec boundary"), "stderr: {stderr}");
+}
+
+#[test]
+fn procs_results_are_bit_identical_to_threads() {
+    // result_sig is the integrity hash over exactly what verification
+    // reads; equal strings mean the backends agree to the last bit.
+    for bench in ["ep", "is", "cg"] {
+        let sig = |backend: &str| {
+            let out =
+                npb(&[bench, "--class", "S", "--backend", backend, "--threads", "4", "--json"]);
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{bench}/{backend} stderr: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            last_json(&out.stdout)
+                .get_str("result_sig")
+                .unwrap_or_else(|| panic!("{bench}/{backend} record has no result_sig"))
+                .to_string()
+        };
+        assert_eq!(sig("threads"), sig("procs"), "{bench}: backends must agree bit-for-bit");
+    }
+}
